@@ -1,0 +1,33 @@
+//! Load-balance metrics.
+
+/// The paper's §5.4 load uniformity index: `max(load) / avg(load)`.
+/// Always >= 1 for non-empty, non-zero loads; 1.0 means perfect balance.
+pub fn load_uniformity(loads: &[f64]) -> f64 {
+    assert!(!loads.is_empty());
+    let max = loads.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let avg = loads.iter().sum::<f64>() / loads.len() as f64;
+    assert!(avg > 0.0, "total load must be positive");
+    max / avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_balance_is_one() {
+        assert_eq!(load_uniformity(&[2.0, 2.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn hot_spot_raises_index() {
+        let u = load_uniformity(&[4.0, 1.0, 1.0]);
+        assert!((u - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_total_load_panics() {
+        load_uniformity(&[0.0, 0.0]);
+    }
+}

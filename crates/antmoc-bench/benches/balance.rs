@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the load-balancing machinery: graph
+//! partitioning (the ParMETIS stand-in) and L3 track dealing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use antmoc::balance::graph::{partition_kway, Graph};
+use antmoc::balance::l3::sorted_round_robin;
+
+fn balance_benches(c: &mut Criterion) {
+    // A 10x10x6 sub-geometry grid (600 nodes, ~10 per node at 64 nodes) —
+    // the paper's recommended granularity for large runs.
+    let (nx, ny, nz) = (10usize, 10usize, 6usize);
+    let mut graph = Graph::with_nodes(
+        (0..nx * ny * nz)
+            .map(|i| 1.0 + ((i * 2654435761) % 97) as f64 / 10.0)
+            .collect(),
+    );
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    graph.add_edge(idx(x, y, z), idx(x + 1, y, z), 1.0);
+                }
+                if y + 1 < ny {
+                    graph.add_edge(idx(x, y, z), idx(x, y + 1, z), 1.0);
+                }
+                if z + 1 < nz {
+                    graph.add_edge(idx(x, y, z), idx(x, y, z + 1), 1.0);
+                }
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("balance");
+    group.sample_size(20);
+    group.bench_function("partition_600_nodes_64_way", |b| {
+        b.iter(|| partition_kway(&graph, 64))
+    });
+
+    let weights: Vec<u64> = (0..200_000u64).map(|i| 1 + (i * i) % 211).collect();
+    group.bench_function("l3_deal_200k_tracks_64_cus", |b| {
+        b.iter(|| sorted_round_robin(&weights, 64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, balance_benches);
+criterion_main!(benches);

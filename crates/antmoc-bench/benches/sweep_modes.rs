@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the transport sweep under the three
+//! storage strategies (the kernel-level view of Fig. 9), plus the
+//! fused-kernel ablation: OTF regeneration+sweep in one pass vs a split
+//! regenerate-then-sweep (the paper fuses ray tracing and source
+//! computation to avoid kernel-switch and copy overhead, §4.1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use antmoc::solver::manager::{select_resident, RankPolicy};
+use antmoc::solver::sweep::transport_sweep;
+use antmoc::solver::{FluxBanks, Problem, SegmentSource};
+use antmoc::track::{trace_3d, Track3dId, TrackParams};
+use antmoc_bench::problem_for;
+
+fn bench_problem() -> Problem {
+    problem_for(TrackParams {
+        num_azim: 4,
+        radial_spacing: 1.2,
+        num_polar: 2,
+        axial_spacing: 8.0,
+        ..Default::default()
+    })
+}
+
+fn sweep_modes(c: &mut Criterion) {
+    let problem = bench_problem();
+    let q = vec![0.1f64; problem.num_fsrs() * problem.num_groups()];
+
+    let mut group = c.benchmark_group("transport_sweep");
+    group.sample_size(10);
+
+    let all: Vec<Track3dId> = problem.layout.tracks3d.ids().collect();
+    let exp = SegmentSource::stored(&problem, &all);
+    group.bench_function("explicit", |b| {
+        let banks = FluxBanks::new(problem.num_tracks(), problem.num_groups());
+        b.iter(|| transport_sweep(&problem, &exp, &q, &banks))
+    });
+
+    let otf = SegmentSource::otf();
+    group.bench_function("otf_fused", |b| {
+        let banks = FluxBanks::new(problem.num_tracks(), problem.num_groups());
+        b.iter(|| transport_sweep(&problem, &otf, &q, &banks))
+    });
+
+    let full: u64 = problem
+        .sweep_tracks
+        .iter()
+        .map(|t| antmoc::solver::manager::stored_bytes_for(t.num_segments))
+        .sum();
+    let plan = select_resident(&problem, full / 2, RankPolicy::BySegments);
+    let mgr = SegmentSource::stored(&problem, &plan.resident);
+    group.bench_function("manager_half", |b| {
+        let banks = FluxBanks::new(problem.num_tracks(), problem.num_groups());
+        b.iter(|| transport_sweep(&problem, &mgr, &q, &banks))
+    });
+
+    // Split-kernel ablation: per iteration, a generation kernel
+    // materialises all 3D segments into a store, then a separate source
+    // kernel sweeps the store — the kernel switch + materialisation the
+    // paper's fused kernel avoids (§4.1).
+    group.bench_function("otf_split_kernels", |b| {
+        let banks = FluxBanks::new(problem.num_tracks(), problem.num_groups());
+        b.iter_batched(
+            || (),
+            |_| {
+                let src = SegmentSource::stored(&problem, &all);
+                transport_sweep(&problem, &src, &q, &banks)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+fn otf_kernel(c: &mut Criterion) {
+    // The inner OTF walker on a single long track (the paper's Fig. 3(b)
+    // loop).
+    let problem = bench_problem();
+    let l = &problem.layout;
+    // Longest track by segment count.
+    let (idx, _) = problem
+        .sweep_tracks
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, t)| t.num_segments)
+        .unwrap();
+    let id = Track3dId(idx as u32);
+    let info = l.tracks3d.info(id, &l.tracks2d, &l.chains);
+    let base = l.segments2d.of(info.track2d);
+
+    c.bench_function("otf_single_track", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            trace_3d(&info, base, &problem.axial, |_, _, len| acc += len);
+            acc
+        })
+    });
+}
+
+fn exp_eval(c: &mut Criterion) {
+    // The design-choice ablation: table lookup vs the exp_m1 intrinsic
+    // for `1 - exp(-tau)` (DESIGN.md; GPU codes table it, CPU intrinsics
+    // are usually competitive).
+    use antmoc::solver::exptable::ExpTable;
+    let taus: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.003) % 12.0).collect();
+    let table = ExpTable::with_tolerance(12.0, 1e-7);
+    let mut group = c.benchmark_group("exp_eval");
+    group.bench_function("exp_m1", |b| {
+        b.iter(|| taus.iter().map(|&t| -(-t).exp_m1()).sum::<f64>())
+    });
+    group.bench_function("table_1e-7", |b| {
+        b.iter(|| taus.iter().map(|&t| table.eval(t)).sum::<f64>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sweep_modes, otf_kernel, exp_eval);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the tracking pipeline stages: 2D laydown,
+//! 2D ray tracing, chain building, and 3D stack construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use antmoc::quadrature::{PolarQuadrature, PolarType};
+use antmoc::track::{ChainSet, SegmentStore2d, TrackSet3d};
+use antmoc_bench::model;
+
+fn tracking_stages(c: &mut Criterion) {
+    let m = model();
+    let mut group = c.benchmark_group("tracking");
+    group.sample_size(10);
+
+    group.bench_function("generate_2d", |b| {
+        b.iter(|| antmoc::track::track2d::generate(&m.geometry, 8, 0.4))
+    });
+
+    let t2 = antmoc::track::track2d::generate(&m.geometry, 8, 0.4);
+    group.bench_function("segment_2d", |b| {
+        b.iter(|| SegmentStore2d::trace(&m.geometry, &t2))
+    });
+
+    group.bench_function("chains", |b| b.iter(|| ChainSet::build(&t2)));
+
+    let chains = ChainSet::build(&t2);
+    group.bench_function("stack_3d", |b| {
+        b.iter(|| {
+            TrackSet3d::build(
+                &t2,
+                &chains,
+                PolarQuadrature::new(PolarType::GaussLegendre, 2),
+                m.geometry.z_range(),
+                4.0,
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, tracking_stages);
+criterion_main!(benches);

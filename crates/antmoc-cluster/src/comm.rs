@@ -1,0 +1,461 @@
+//! Rank communicators and the thread-backed cluster harness.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::traffic::{Traffic, TrafficCounters};
+
+/// How long a blocking receive waits before declaring a deadlock. The
+/// solver's exchange patterns are deterministic, so a stall this long is
+/// always a bug, not load.
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// An in-flight message: tag, payload, accounted size.
+struct Message {
+    tag: u32,
+    bytes: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// The per-rank communicator handed to cluster closures. Semantics follow
+/// MPI point-to-point ordering: messages between a fixed (sender,
+/// receiver) pair are non-overtaking; receives match on tag with an
+/// internal reorder buffer.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    /// `senders[to]` transmits to rank `to`.
+    senders: Vec<Sender<Message>>,
+    /// `receivers[from]` yields messages sent by rank `from`.
+    receivers: Vec<Receiver<Message>>,
+    /// Out-of-order messages waiting for a matching tag, per source.
+    pending: Vec<VecDeque<Message>>,
+    barrier: Arc<Barrier>,
+    counters: Arc<Vec<TrafficCounters>>,
+}
+
+impl Comm {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends a value to `to` under `tag`, accounting `bytes` of traffic.
+    pub fn send_with_bytes<T: Send + 'static>(&self, to: usize, tag: u32, value: T, bytes: u64) {
+        assert!(to < self.size, "send to rank {to} of {}", self.size);
+        self.counters[self.rank].record_send(bytes);
+        self.senders[to]
+            .send(Message { tag, bytes, payload: Box::new(value) })
+            .expect("receiver hung up");
+    }
+
+    /// Sends a `Copy` scalar (accounted at its in-memory size).
+    pub fn send_val<T: Copy + Send + 'static>(&self, to: usize, tag: u32, value: T) {
+        self.send_with_bytes(to, tag, value, std::mem::size_of::<T>() as u64);
+    }
+
+    /// Sends a vector (accounted at its element payload size — what MPI
+    /// would put on the wire).
+    pub fn send_vec<T: Send + 'static>(&self, to: usize, tag: u32, value: Vec<T>) {
+        let bytes = (value.len() * std::mem::size_of::<T>()) as u64;
+        self.send_with_bytes(to, tag, value, bytes);
+    }
+
+    /// Blocking receive of the next message from `from` with `tag`.
+    /// Messages with other tags from the same source are buffered.
+    pub fn recv<T: 'static>(&mut self, from: usize, tag: u32) -> T {
+        assert!(from < self.size, "recv from rank {from} of {}", self.size);
+        // Check the reorder buffer first.
+        if let Some(pos) = self.pending[from].iter().position(|m| m.tag == tag) {
+            let msg = self.pending[from].remove(pos).unwrap();
+            return self.unpack(msg);
+        }
+        loop {
+            let msg = self.receivers[from]
+                .recv_timeout(RECV_TIMEOUT)
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: timed out waiting for tag {tag} from rank {from}",
+                        self.rank
+                    )
+                });
+            if msg.tag == tag {
+                return self.unpack(msg);
+            }
+            self.pending[from].push_back(msg);
+        }
+    }
+
+    fn unpack<T: 'static>(&self, msg: Message) -> T {
+        self.counters[self.rank].record_recv(msg.bytes);
+        *msg.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: message tag {} carried an unexpected payload type",
+                self.rank, msg.tag
+            )
+        })
+    }
+
+    /// Receive helper for `Copy` scalars.
+    pub fn recv_val<T: Copy + 'static>(&mut self, from: usize, tag: u32) -> T {
+        self.recv::<T>(from, tag)
+    }
+
+    /// Receive helper for vectors.
+    pub fn recv_vec<T: 'static>(&mut self, from: usize, tag: u32) -> Vec<T> {
+        self.recv::<Vec<T>>(from, tag)
+    }
+
+    /// Synchronises all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// All-reduce of an `f64` with a binary operation (gather to rank 0,
+    /// reduce, broadcast). `op` must be associative and commutative.
+    pub fn allreduce_f64(&mut self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        const TAG: u32 = u32::MAX - 1;
+        if self.rank == 0 {
+            let mut acc = value;
+            for from in 1..self.size {
+                let v: f64 = self.recv(from, TAG);
+                acc = op(acc, v);
+            }
+            for to in 1..self.size {
+                self.send_val(to, TAG, acc);
+            }
+            acc
+        } else {
+            self.send_val(0, TAG, value);
+            self.recv(0, TAG)
+        }
+    }
+
+    /// Sum all-reduce.
+    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+        self.allreduce_f64(value, |a, b| a + b)
+    }
+
+    /// Max all-reduce.
+    pub fn allreduce_max(&mut self, value: f64) -> f64 {
+        self.allreduce_f64(value, f64::max)
+    }
+
+    /// Gathers one value per rank to every rank (all-gather).
+    pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
+        const TAG: u32 = u32::MAX - 2;
+        if self.rank == 0 {
+            let mut all = vec![value];
+            for from in 1..self.size {
+                all.push(self.recv::<T>(from, TAG));
+            }
+            for to in 1..self.size {
+                self.send_with_bytes(to, TAG, all.clone(), 0);
+            }
+            all
+        } else {
+            self.send_with_bytes(0, TAG, value, std::mem::size_of::<T>() as u64);
+            self.recv::<Vec<T>>(0, TAG)
+        }
+    }
+
+    /// Broadcast from rank 0.
+    pub fn broadcast<T: Clone + Send + 'static>(&mut self, value: Option<T>) -> T {
+        const TAG: u32 = u32::MAX - 3;
+        if self.rank == 0 {
+            let v = value.expect("rank 0 must provide the broadcast value");
+            for to in 1..self.size {
+                self.send_with_bytes(to, TAG, v.clone(), std::mem::size_of::<T>() as u64);
+            }
+            v
+        } else {
+            self.recv::<T>(0, TAG)
+        }
+    }
+
+    /// This rank's traffic so far.
+    pub fn traffic(&self) -> Traffic {
+        self.counters[self.rank].snapshot()
+    }
+}
+
+/// Results plus final traffic for a cluster run.
+#[derive(Debug)]
+pub struct ClusterOutcome<T> {
+    /// Per-rank closure results, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank traffic totals.
+    pub traffic: Vec<Traffic>,
+}
+
+/// The cluster harness.
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs `f` on `n` ranks (one OS thread each) and collects results.
+    /// Panics in any rank propagate after all threads join.
+    pub fn run<T, F>(n: usize, f: F) -> ClusterOutcome<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        assert!(n >= 1, "cluster needs at least one rank");
+        // Build the n x n channel fabric.
+        let mut senders_matrix: Vec<Vec<Sender<Message>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut receivers_matrix: Vec<Vec<Receiver<Message>>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for to in 0..n {
+            for from in 0..n {
+                let (tx, rx) = unbounded();
+                senders_matrix[from].push(tx);
+                receivers_matrix[to].push(rx);
+                let _ = from;
+            }
+        }
+        let barrier = Arc::new(Barrier::new(n));
+        let counters = Arc::new((0..n).map(|_| TrafficCounters::default()).collect::<Vec<_>>());
+
+        let comms: Vec<Comm> = senders_matrix
+            .into_iter()
+            .zip(receivers_matrix)
+            .enumerate()
+            .map(|(rank, (senders, receivers))| Comm {
+                rank,
+                size: n,
+                senders,
+                receivers,
+                pending: (0..n).map(|_| VecDeque::new()).collect(),
+                barrier: barrier.clone(),
+                counters: counters.clone(),
+            })
+            .collect();
+
+        let results: Arc<Mutex<Vec<Option<T>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        std::thread::scope(|s| {
+            for comm in comms {
+                let f = &f;
+                let results = results.clone();
+                s.spawn(move || {
+                    let rank = comm.rank();
+                    let out = f(comm);
+                    results.lock()[rank] = Some(out);
+                });
+            }
+        });
+        let results = Arc::try_unwrap(results)
+            .unwrap_or_else(|_| panic!("result arc still shared"))
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect();
+        let traffic = counters.iter().map(|c| c.snapshot()).collect();
+        ClusterOutcome { results, traffic }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let o = Cluster::run(1, |comm| comm.rank() + 10);
+        assert_eq!(o.results, vec![10]);
+    }
+
+    #[test]
+    fn point_to_point_preserves_order() {
+        let o = Cluster::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u32 {
+                    comm.send_val(1, 1, i);
+                }
+                0
+            } else {
+                let mut last = None;
+                for _ in 0..100 {
+                    let v: u32 = comm.recv_val(0, 1);
+                    if let Some(prev) = last {
+                        assert_eq!(v, prev + 1);
+                    }
+                    last = Some(v);
+                }
+                last.unwrap()
+            }
+        });
+        assert_eq!(o.results[1], 99);
+    }
+
+    #[test]
+    fn tag_mismatch_is_buffered() {
+        let o = Cluster::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send_val(1, 5, 50u32);
+                comm.send_val(1, 6, 60u32);
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b: u32 = comm.recv_val(0, 6);
+                let a: u32 = comm.recv_val(0, 5);
+                (a + b) as usize
+            }
+        });
+        assert_eq!(o.results[1], 110);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let o = Cluster::run(5, |mut comm| {
+            let r = comm.rank() as f64;
+            let sum = comm.allreduce_sum(r);
+            let max = comm.allreduce_max(r);
+            (sum, max)
+        });
+        for (sum, max) in o.results {
+            assert_eq!(sum, 10.0);
+            assert_eq!(max, 4.0);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        let o = Cluster::run(4, |mut comm| comm.allgather(comm.rank() * 2));
+        for r in o.results {
+            assert_eq!(r, vec![0, 2, 4, 6]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let o = Cluster::run(3, |mut comm| {
+            let v = if comm.rank() == 0 { Some(String::from("hello")) } else { None };
+            comm.broadcast(v)
+        });
+        assert!(o.results.iter().all(|s| s == "hello"));
+    }
+
+    #[test]
+    fn traffic_counts_vector_payloads() {
+        let o = Cluster::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send_vec(1, 9, vec![0f32; 100]);
+            } else {
+                let v: Vec<f32> = comm.recv_vec(0, 9);
+                assert_eq!(v.len(), 100);
+            }
+            comm.barrier();
+            comm.traffic()
+        });
+        assert_eq!(o.traffic[0].sent_bytes, 400);
+        assert_eq!(o.traffic[1].received_bytes, 400);
+        assert_eq!(o.traffic[0].sent_messages, 1);
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        Cluster::run(4, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn neighbour_exchange_pattern() {
+        // The solver's core pattern: everyone sends to +1 and receives
+        // from -1 simultaneously without deadlock (channels are buffered).
+        let n = 8;
+        let o = Cluster::run(n, |mut comm| {
+            let right = (comm.rank() + 1) % n;
+            let left = (comm.rank() + n - 1) % n;
+            let flux = vec![comm.rank() as f32; 64];
+            comm.send_vec(right, 2, flux);
+            let got: Vec<f32> = comm.recv_vec(left, 2);
+            got[0] as usize
+        });
+        for (rank, left_val) in o.results.iter().enumerate() {
+            assert_eq!(*left_val, (rank + n - 1) % n);
+        }
+    }
+
+    #[test]
+    fn random_all_to_all_delivers_everything() {
+        // Every rank sends a tagged value to every other rank (including
+        // itself is excluded); all arrive intact regardless of order.
+        let n = 6;
+        let o = Cluster::run(n, |mut comm| {
+            let me = comm.rank();
+            for to in 0..n {
+                if to != me {
+                    comm.send_val(to, 42, (me * 1000 + to) as u64);
+                }
+            }
+            let mut sum = 0u64;
+            for from in 0..n {
+                if from != me {
+                    let v: u64 = comm.recv_val(from, 42);
+                    assert_eq!(v, (from * 1000 + me) as u64);
+                    sum += v;
+                }
+            }
+            sum
+        });
+        assert_eq!(o.results.len(), n);
+        for (me, &sum) in o.results.iter().enumerate() {
+            let expect: u64 = (0..n).filter(|&f| f != me).map(|f| (f * 1000 + me) as u64).sum();
+            assert_eq!(sum, expect);
+        }
+    }
+
+    #[test]
+    fn nested_collectives_interleave_with_p2p() {
+        let n = 4;
+        let o = Cluster::run(n, |mut comm| {
+            let me = comm.rank();
+            // Interleave: p2p ring, reduce, gather, another ring.
+            let right = (me + 1) % n;
+            let left = (me + n - 1) % n;
+            comm.send_val(right, 7, me as f64);
+            let a: f64 = comm.recv_val(left, 7);
+            let s = comm.allreduce_sum(a);
+            let all = comm.allgather(me);
+            comm.send_vec(right, 8, vec![s; 3]);
+            let v: Vec<f64> = comm.recv_vec(left, 8);
+            (s, all.len(), v[0])
+        });
+        for (s, l, v) in o.results {
+            assert_eq!(s, 6.0);
+            assert_eq!(l, n);
+            assert_eq!(v, 6.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn type_mismatch_panics_with_context() {
+        // The rank's own panic message ("unexpected payload type") is
+        // printed by the failing thread; the harness surfaces it as a
+        // scoped-thread panic.
+        Cluster::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send_val(1, 3, 1u32);
+            } else {
+                let _: f64 = comm.recv_val(0, 3);
+            }
+        });
+    }
+}

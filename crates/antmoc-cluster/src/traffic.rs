@@ -1,0 +1,60 @@
+//! Per-rank communication accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of one rank's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    pub sent_bytes: u64,
+    pub sent_messages: u64,
+    pub received_bytes: u64,
+    pub received_messages: u64,
+}
+
+/// Internal atomic counters (one per rank, shared with the harness).
+#[derive(Debug, Default)]
+pub(crate) struct TrafficCounters {
+    pub sent_bytes: AtomicU64,
+    pub sent_messages: AtomicU64,
+    pub received_bytes: AtomicU64,
+    pub received_messages: AtomicU64,
+}
+
+impl TrafficCounters {
+    pub fn record_send(&self, bytes: u64) {
+        self.sent_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.sent_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_recv(&self, bytes: u64) {
+        self.received_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.received_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> Traffic {
+        Traffic {
+            sent_bytes: self.sent_bytes.load(Ordering::Relaxed),
+            sent_messages: self.sent_messages.load(Ordering::Relaxed),
+            received_bytes: self.received_bytes.load(Ordering::Relaxed),
+            received_messages: self.received_messages.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = TrafficCounters::default();
+        c.record_send(100);
+        c.record_send(50);
+        c.record_recv(30);
+        let s = c.snapshot();
+        assert_eq!(s.sent_bytes, 150);
+        assert_eq!(s.sent_messages, 2);
+        assert_eq!(s.received_bytes, 30);
+        assert_eq!(s.received_messages, 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! The simulated device: spec, allocation and kernel launch.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use crate::memory::{DeviceBuffer, MemoryPool, OutOfMemory};
+use crate::metrics::DeviceMetrics;
+
+/// Static description of a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    pub name: String,
+    /// Number of compute units (the paper's CUs; 64 on the MI60).
+    pub num_cus: usize,
+    /// Global memory capacity in bytes.
+    pub memory_bytes: u64,
+}
+
+impl DeviceSpec {
+    /// An AMD Instinct MI60-like device (64 CUs, 16 GiB), the paper's
+    /// hardware (§5).
+    pub fn mi60() -> Self {
+        Self { name: "MI60-sim".into(), num_cus: 64, memory_bytes: 16 << 30 }
+    }
+
+    /// A laptop-scale stand-in used by tests and measured experiments:
+    /// same CU count, scaled-down memory so memory-pressure effects appear
+    /// at laptop-sized track counts.
+    pub fn scaled(memory_bytes: u64) -> Self {
+        Self { name: "scaled-sim".into(), num_cus: 64, memory_bytes }
+    }
+
+    /// A tiny device for unit tests (8 CUs, 1 MiB).
+    pub fn test_small() -> Self {
+        Self { name: "test".into(), num_cus: 8, memory_bytes: 1 << 20 }
+    }
+}
+
+/// A simulated GPU.
+///
+/// Kernels run on the process-wide rayon pool: one parallel task per
+/// logical CU, items within a CU processed sequentially. This mirrors how
+/// the paper maps tracks to CUs (L3 load mapping, Fig. 5) while keeping a
+/// single thread pool for arbitrarily many simulated devices.
+#[derive(Debug)]
+pub struct Device {
+    spec: DeviceSpec,
+    memory: MemoryPool,
+    metrics: Mutex<DeviceMetrics>,
+}
+
+impl Device {
+    /// Creates a device from its spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let memory = MemoryPool::new(spec.memory_bytes);
+        let metrics = Mutex::new(DeviceMetrics::new(spec.num_cus));
+        Self { spec, memory, metrics }
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The memory pool (for inspection; allocations go through
+    /// [`Device::alloc`]).
+    pub fn memory(&self) -> &MemoryPool {
+        &self.memory
+    }
+
+    /// A snapshot of the metrics.
+    pub fn metrics(&self) -> DeviceMetrics {
+        self.metrics.lock().clone()
+    }
+
+    /// Clears per-CU work counters (kernel totals are kept).
+    pub fn reset_cu_work(&self) {
+        let mut m = self.metrics.lock();
+        for w in m.cu_work.iter_mut() {
+            *w = 0;
+        }
+    }
+
+    /// Allocates a zero-initialised buffer of `len` elements.
+    pub fn alloc<T: Clone + Default>(
+        &self,
+        tag: &str,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, OutOfMemory> {
+        DeviceBuffer::from_vec(&self.memory, tag, vec![T::default(); len])
+    }
+
+    /// Copies host data to the device (accounted as an H2D transfer).
+    pub fn alloc_from_slice<T: Clone>(
+        &self,
+        tag: &str,
+        data: &[T],
+    ) -> Result<DeviceBuffer<T>, OutOfMemory> {
+        let buf = DeviceBuffer::from_vec(&self.memory, tag, data.to_vec())?;
+        self.metrics.lock().h2d_bytes += buf.bytes();
+        Ok(buf)
+    }
+
+    /// Moves an existing host vector to the device without copying
+    /// (accounted as an H2D transfer).
+    pub fn adopt_vec<T>(&self, tag: &str, data: Vec<T>) -> Result<DeviceBuffer<T>, OutOfMemory> {
+        let buf = DeviceBuffer::from_vec(&self.memory, tag, data)?;
+        self.metrics.lock().h2d_bytes += buf.bytes();
+        Ok(buf)
+    }
+
+    /// Records a device-to-host readback of `bytes`.
+    pub fn record_d2h(&self, bytes: u64) {
+        self.metrics.lock().d2h_bytes += bytes;
+    }
+
+    /// Records a device-to-device (DMA) transfer of `bytes` — the paper's
+    /// intra-node track-flux exchange path (§3.2).
+    pub fn record_dma(&self, bytes: u64) {
+        self.metrics.lock().dma_bytes += bytes;
+    }
+
+    /// Launches a grid-stride kernel over `n` items (the paper's
+    /// Algorithm 1): item `i` executes on CU `i % num_cus`. The body
+    /// returns the number of work units it performed (e.g. segments
+    /// swept), which feeds the per-CU load accounting.
+    pub fn launch<F>(&self, name: &str, n: usize, body: F)
+    where
+        F: Fn(usize) -> u64 + Sync,
+    {
+        let cus = self.spec.num_cus;
+        let start = Instant::now();
+        let per_cu: Vec<u64> = (0..cus)
+            .into_par_iter()
+            .map(|cu| {
+                let mut work = 0;
+                let mut i = cu;
+                while i < n {
+                    work += body(i);
+                    i += cus;
+                }
+                work
+            })
+            .collect();
+        self.finish_launch(name, &per_cu, start);
+    }
+
+    /// Launches a kernel with an explicit CU assignment: `assignments[cu]`
+    /// lists the item indices that CU executes (the L3 load-mapping
+    /// product). Items within a CU run sequentially; CUs run in parallel.
+    pub fn launch_by_cu<F>(&self, name: &str, assignments: &[Vec<u32>], body: F)
+    where
+        F: Fn(usize, u32) -> u64 + Sync,
+    {
+        assert!(
+            assignments.len() <= self.spec.num_cus,
+            "{} CU buckets for a {}-CU device",
+            assignments.len(),
+            self.spec.num_cus
+        );
+        let start = Instant::now();
+        let mut per_cu = vec![0u64; self.spec.num_cus];
+        let computed: Vec<u64> = assignments
+            .par_iter()
+            .enumerate()
+            .map(|(cu, items)| items.iter().map(|&it| body(cu, it)).sum())
+            .collect();
+        per_cu[..computed.len()].copy_from_slice(&computed);
+        self.finish_launch(name, &per_cu, start);
+    }
+
+    fn finish_launch(&self, name: &str, per_cu: &[u64], start: Instant) {
+        let seconds = start.elapsed().as_secs_f64();
+        let total: u64 = per_cu.iter().sum();
+        let mut m = self.metrics.lock();
+        for (cu, w) in per_cu.iter().enumerate() {
+            m.cu_work[cu] += w;
+        }
+        m.record_kernel(name, total, seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn grid_stride_covers_every_item_once() {
+        let dev = Device::new(DeviceSpec::test_small());
+        let n = 1003; // deliberately not a multiple of the CU count
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        dev.launch("cover", n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            1
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(dev.metrics().kernel("cover").unwrap().work_units, n as u64);
+    }
+
+    #[test]
+    fn launch_by_cu_respects_assignment_and_counts_work() {
+        let dev = Device::new(DeviceSpec::test_small());
+        let assignments = vec![vec![0u32, 1, 2], vec![3], vec![], vec![4, 5]];
+        let sum = AtomicU64::new(0);
+        dev.launch_by_cu("custom", &assignments, |_cu, item| {
+            sum.fetch_add(item as u64, Ordering::Relaxed);
+            (item + 1) as u64
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 15);
+        let m = dev.metrics();
+        assert_eq!(m.cu_work[0], 1 + 2 + 3);
+        assert_eq!(m.cu_work[1], 4);
+        assert_eq!(m.cu_work[2], 0);
+        assert_eq!(m.cu_work[3], 5 + 6);
+        let u = m.cu_load_uniformity().unwrap();
+        assert!(u > 1.0);
+    }
+
+    #[test]
+    fn alloc_over_capacity_errors() {
+        let dev = Device::new(DeviceSpec::test_small()); // 1 MiB
+        let err = dev.alloc::<u8>("big", 2 << 20).unwrap_err();
+        assert_eq!(err.capacity, 1 << 20);
+    }
+
+    #[test]
+    fn transfers_are_accounted() {
+        let dev = Device::new(DeviceSpec::test_small());
+        let data = vec![1.0f32; 256];
+        let _buf = dev.alloc_from_slice("x", &data).unwrap();
+        dev.record_d2h(128);
+        dev.record_dma(64);
+        let m = dev.metrics();
+        assert_eq!(m.h2d_bytes, 1024);
+        assert_eq!(m.d2h_bytes, 128);
+        assert_eq!(m.dma_bytes, 64);
+    }
+
+    #[test]
+    fn reset_cu_work_keeps_kernel_totals() {
+        let dev = Device::new(DeviceSpec::test_small());
+        dev.launch("k", 10, |_| 1);
+        dev.reset_cu_work();
+        let m = dev.metrics();
+        assert!(m.cu_work.iter().all(|&w| w == 0));
+        assert_eq!(m.kernel("k").unwrap().work_units, 10);
+    }
+
+    #[test]
+    fn mi60_spec_matches_paper_hardware() {
+        let s = DeviceSpec::mi60();
+        assert_eq!(s.num_cus, 64);
+        assert_eq!(s.memory_bytes, 16 << 30);
+    }
+}

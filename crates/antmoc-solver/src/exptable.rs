@@ -1,0 +1,126 @@
+//! Linear-interpolated exponential tables.
+//!
+//! GPU MOC codes commonly replace `1 - exp(-tau)` with a table lookup —
+//! the transcendental is the hottest instruction of the sweep. This
+//! module provides the classic equally-spaced linear-interpolation table
+//! with a rigorous worst-case error bound, plus the helper the sweep
+//! kernels use. The criterion bench `sweep_modes` compares table vs
+//! `exp_m1` throughput on this host (the ablation DESIGN.md calls out;
+//! on CPUs the intrinsic is usually competitive, which is why the default
+//! sweep uses it).
+
+/// A table of `f(tau) = 1 - exp(-tau)` on `[0, tau_max]` with equally
+/// spaced nodes and linear interpolation; saturates to `f(tau_max)` above
+/// the range (where the value is within the table error of 1 anyway if
+/// `tau_max` is chosen ≥ ~10).
+#[derive(Debug, Clone)]
+pub struct ExpTable {
+    values: Vec<f64>,
+    inv_step: f64,
+    tau_max: f64,
+}
+
+impl ExpTable {
+    /// Builds a table with the given node count (>= 2).
+    pub fn new(tau_max: f64, nodes: usize) -> Self {
+        assert!(tau_max > 0.0 && nodes >= 2);
+        let step = tau_max / (nodes - 1) as f64;
+        let values = (0..nodes)
+            .map(|i| -(-(i as f64) * step).exp_m1())
+            .collect();
+        Self { values, inv_step: 1.0 / step, tau_max }
+    }
+
+    /// Builds a table sized so the worst-case absolute interpolation
+    /// error is below `epsilon`. For linear interpolation of a function
+    /// with `|f''| <= 1` the error bound is `step^2 / 8`.
+    pub fn with_tolerance(tau_max: f64, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0);
+        let step = (8.0 * epsilon).sqrt();
+        let nodes = ((tau_max / step).ceil() as usize + 1).max(2);
+        Self::new(tau_max, nodes)
+    }
+
+    /// `1 - exp(-tau)` by table lookup.
+    #[inline]
+    pub fn eval(&self, tau: f64) -> f64 {
+        debug_assert!(tau >= 0.0);
+        if tau >= self.tau_max {
+            return *self.values.last().unwrap();
+        }
+        let x = tau * self.inv_step;
+        let i = x as usize;
+        let frac = x - i as f64;
+        self.values[i] * (1.0 - frac) + self.values[i + 1] * frac
+    }
+
+    /// Number of nodes (for memory accounting).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Bytes of storage.
+    pub fn bytes(&self) -> u64 {
+        (self.values.len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_exact_at_nodes() {
+        let t = ExpTable::new(10.0, 1001);
+        for i in 0..1001 {
+            let tau = 10.0 * i as f64 / 1000.0;
+            let exact = -(-tau).exp_m1();
+            assert!((t.eval(tau) - exact).abs() < 1e-12, "tau {tau}");
+        }
+    }
+
+    #[test]
+    fn tolerance_constructor_meets_its_bound() {
+        for eps in [1e-4, 1e-6, 1e-8] {
+            let t = ExpTable::with_tolerance(12.0, eps);
+            let mut worst = 0.0f64;
+            for i in 0..200_000 {
+                let tau = 12.0 * i as f64 / 199_999.0;
+                let exact = -(-tau).exp_m1();
+                worst = worst.max((t.eval(tau) - exact).abs());
+            }
+            assert!(worst <= eps * 1.01, "eps {eps}: worst {worst}");
+        }
+    }
+
+    #[test]
+    fn saturates_beyond_range() {
+        let t = ExpTable::new(10.0, 101);
+        assert!((t.eval(50.0) - t.eval(10.0)).abs() < 1e-12);
+        assert!(t.eval(50.0) > 0.99995);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        let t = ExpTable::new(10.0, 101);
+        assert_eq!(t.eval(0.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn monotone_and_bounded(tau in 0.0f64..20.0, tau2 in 0.0f64..20.0) {
+            let t = ExpTable::with_tolerance(15.0, 1e-6);
+            let a = t.eval(tau);
+            let b = t.eval(tau2);
+            prop_assert!((0.0..=1.0).contains(&a));
+            if tau <= tau2 {
+                prop_assert!(a <= b + 1e-9);
+            }
+        }
+    }
+}

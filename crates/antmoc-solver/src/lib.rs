@@ -1,0 +1,37 @@
+//! MOC transport solvers: reference CPU, simulated-GPU device, and
+//! domain-decomposed cluster flavours.
+//!
+//! * [`problem`] — per-domain solver inputs (geometry, tracks, flattened
+//!   cross sections, tracked volumes, per-track sweep metadata);
+//! * [`sweep`] — flux banks and the segment sweep kernel with EXP / OTF /
+//!   Manager storage modes (§4.1 of the paper);
+//! * [`source`] — reduced-source and scalar-flux updates, fission
+//!   tallies;
+//! * [`eigen`] — the power iteration shared by all solver flavours;
+//! * [`manager`] — the track-management strategy (resident/temporary
+//!   ranking under a device memory budget);
+//! * [`device`] — the simulated-GPU solver (Algorithm 1 kernels, L3
+//!   track-to-CU mapping, Table 3 memory accounting);
+//! * [`decomp`] — uniform spatial decomposition with a global
+//!   angular-flux exchange plan (§3.2);
+//! * [`cluster`] — the multi-rank solver over `antmoc-cluster` (§5.5);
+//! * [`solver2d`] — a classic 2D MOC solver (the paper's Table 1
+//!   comparison plane and its 3D-vs-2D cost ratio).
+
+pub mod cluster;
+pub mod decomp;
+pub mod diagnostics;
+pub mod device;
+pub mod eigen;
+pub mod exptable;
+pub mod fixed;
+pub mod manager;
+pub mod problem;
+pub mod solver2d;
+pub mod source;
+pub mod sweep;
+
+pub use eigen::{solve_eigenvalue, CpuSweeper, EigenOptions, EigenResult, Sweeper};
+pub use problem::{Problem, SweepTrack, XsData};
+pub use source::{fission_production, fission_rates};
+pub use sweep::{FluxBanks, SegmentSource, StorageMode, SweepOutcome};

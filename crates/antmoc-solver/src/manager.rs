@@ -1,0 +1,180 @@
+//! The track-management strategy (§4.1, Fig. 4 of the paper).
+//!
+//! Under the EXPlicit mode all 3D segments live in device memory; under
+//! OTF none do. The manager ranks tracks and stores segments for as many
+//! as fit a byte budget (*resident* tracks); the rest (*temporary*) are
+//! regenerated on the fly each sweep. The paper ranks by segment count,
+//! "with preference given to those with more segments in order to reduce
+//! the number of load operations during ray tracing"; alternative
+//! rankings are provided for the ablation bench.
+
+use antmoc_track::Track3dId;
+
+use crate::problem::Problem;
+
+/// Ranking policy for resident-track selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankPolicy {
+    /// Most segments first (the paper's choice).
+    BySegments,
+    /// Longest 3D length first.
+    ByLength,
+    /// Pseudo-random order (ablation baseline).
+    Random(u64),
+}
+
+/// Outcome of the selection.
+#[derive(Debug, Clone)]
+pub struct ResidencyPlan {
+    /// Tracks whose segments will be stored, in selection order.
+    pub resident: Vec<Track3dId>,
+    /// Estimated bytes the stored segments will occupy.
+    pub resident_bytes: u64,
+    /// Segments stored vs regenerated per sweep.
+    pub resident_segments: u64,
+    pub temporary_segments: u64,
+}
+
+/// Approximate stored bytes for one track's segments (compact segment
+/// payload plus CSR bookkeeping).
+pub fn stored_bytes_for(num_segments: u32) -> u64 {
+    num_segments as u64 * 8 + 16
+}
+
+/// Selects resident tracks under `budget_bytes` with the given policy.
+pub fn select_resident(problem: &Problem, budget_bytes: u64, policy: RankPolicy) -> ResidencyPlan {
+    let n = problem.num_tracks();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    match policy {
+        RankPolicy::BySegments => {
+            order.sort_by_key(|&i| std::cmp::Reverse(problem.sweep_tracks[i as usize].num_segments));
+        }
+        RankPolicy::ByLength => {
+            order.sort_by(|&a, &b| {
+                let la = problem.sweep_tracks[a as usize];
+                let lb = problem.sweep_tracks[b as usize];
+                let xa = (la.u_hi - la.u_lo) * la.inv_sin;
+                let xb = (lb.u_hi - lb.u_lo) * lb.inv_sin;
+                xb.partial_cmp(&xa).unwrap()
+            });
+        }
+        RankPolicy::Random(seed) => {
+            // Deterministic xorshift shuffle.
+            let mut s = seed.wrapping_mul(2685821657736338717).max(1);
+            for i in (1..order.len()).rev() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let j = (s % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+        }
+    }
+    let mut resident = Vec::new();
+    let mut bytes = 0u64;
+    let mut res_segs = 0u64;
+    for &i in &order {
+        let segs = problem.sweep_tracks[i as usize].num_segments;
+        let b = stored_bytes_for(segs);
+        if bytes + b > budget_bytes {
+            continue;
+        }
+        bytes += b;
+        res_segs += segs as u64;
+        resident.push(Track3dId(i));
+    }
+    let total_segs = problem.num_3d_segments();
+    ResidencyPlan {
+        resident,
+        resident_bytes: bytes,
+        resident_segments: res_segs,
+        temporary_segments: total_segs - res_segs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antmoc_geom::geometry::homogeneous_box;
+    use antmoc_geom::{AxialModel, BoundaryConds};
+    use antmoc_track::TrackParams;
+    use antmoc_xs::c5g7;
+
+    fn problem() -> Problem {
+        let lib = c5g7::library();
+        let (uo2, _) = lib.by_name("UO2").unwrap();
+        let g = homogeneous_box(uo2, 4.0, 3.0, (0.0, 2.0), BoundaryConds::vacuum());
+        let axial = AxialModel::uniform(0.0, 2.0, 0.5);
+        let params = TrackParams {
+            num_azim: 8,
+            radial_spacing: 0.4,
+            num_polar: 4,
+            axial_spacing: 0.4,
+            ..Default::default()
+        };
+        Problem::build(g, axial, &lib, params)
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let p = problem();
+        let plan = select_resident(&p, 0, RankPolicy::BySegments);
+        assert!(plan.resident.is_empty());
+        assert_eq!(plan.resident_segments, 0);
+        assert_eq!(plan.temporary_segments, p.num_3d_segments());
+    }
+
+    #[test]
+    fn huge_budget_selects_everything() {
+        let p = problem();
+        let plan = select_resident(&p, u64::MAX, RankPolicy::BySegments);
+        assert_eq!(plan.resident.len(), p.num_tracks());
+        assert_eq!(plan.temporary_segments, 0);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let p = problem();
+        let full = select_resident(&p, u64::MAX, RankPolicy::BySegments).resident_bytes;
+        let budget = full / 3;
+        let plan = select_resident(&p, budget, RankPolicy::BySegments);
+        assert!(plan.resident_bytes <= budget);
+        assert!(!plan.resident.is_empty());
+        assert!(plan.resident.len() < p.num_tracks());
+    }
+
+    #[test]
+    fn by_segments_prefers_heavier_tracks_than_random() {
+        let p = problem();
+        let full = select_resident(&p, u64::MAX, RankPolicy::BySegments).resident_bytes;
+        let budget = full / 3;
+        let smart = select_resident(&p, budget, RankPolicy::BySegments);
+        let rand = select_resident(&p, budget, RankPolicy::Random(7));
+        // Same budget, the segment-ranked plan must cover at least as many
+        // segments (that is its whole point — fewer OTF regenerations).
+        assert!(
+            smart.resident_segments >= rand.resident_segments,
+            "smart {} < random {}",
+            smart.resident_segments,
+            rand.resident_segments
+        );
+    }
+
+    #[test]
+    fn segment_accounting_is_exact() {
+        let p = problem();
+        for policy in [RankPolicy::BySegments, RankPolicy::ByLength, RankPolicy::Random(3)] {
+            let plan = select_resident(&p, 4096, policy);
+            let direct: u64 = plan
+                .resident
+                .iter()
+                .map(|t| p.sweep_tracks[t.0 as usize].num_segments as u64)
+                .sum();
+            assert_eq!(plan.resident_segments, direct);
+            assert_eq!(
+                plan.resident_segments + plan.temporary_segments,
+                p.num_3d_segments()
+            );
+        }
+    }
+}

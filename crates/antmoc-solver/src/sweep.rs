@@ -1,0 +1,556 @@
+//! The transport sweep: boundary flux banks, atomic scalar-flux
+//! accumulation, and the per-track segment kernel.
+//!
+//! The sweep integrates Equation (1) of the paper along every 3D track in
+//! both directions: `delta psi = (psi - q) * (1 - exp(-sigma_t * l))` per
+//! segment, accumulating `weight * delta psi` into the segment's flat
+//! source region and carrying the attenuated `psi` forward. Outgoing
+//! boundary fluxes are deposited into the *next* iteration's incoming bank
+//! (the Point-Jacobi update of §2.1), which is also exactly the value the
+//! domain-decomposed solver ships between ranks.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use antmoc_track::{trace_3d, Link3d, SegmentStore3d, Track3dId, Track3dInfo, TrackId};
+
+use crate::problem::Problem;
+
+/// Maximum supported energy groups (stack-allocated per-traversal state).
+pub const MAX_GROUPS: usize = 8;
+
+/// How 3D segments are obtained during the sweep (the paper's §5.3
+/// comparison axes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StorageMode {
+    /// All 3D segments precomputed and stored (fast, memory-hungry).
+    Explicit,
+    /// Nothing stored; every traversal regenerates segments on the fly.
+    Otf,
+    /// Resident/temporary split under a byte budget (§4.1).
+    Manager { budget_bytes: u64 },
+}
+
+/// Prepared segment access for a problem: an optional explicit store
+/// covering some or all tracks; uncovered tracks fall back to OTF.
+#[derive(Debug)]
+pub struct SegmentSource {
+    store: Option<SegmentStore3d>,
+}
+
+impl SegmentSource {
+    /// Pure OTF.
+    pub fn otf() -> Self {
+        Self { store: None }
+    }
+
+    /// Explicit storage for the given tracks (all tracks = EXP mode).
+    pub fn stored(problem: &Problem, tracks: &[Track3dId]) -> Self {
+        let l = &problem.layout;
+        let store = SegmentStore3d::trace(
+            tracks,
+            &l.tracks3d,
+            &l.tracks2d,
+            &l.chains,
+            &l.segments2d,
+            &problem.axial,
+            &l.fsr3d,
+        );
+        Self { store: Some(store) }
+    }
+
+    /// Bytes held by the explicit store.
+    pub fn stored_bytes(&self) -> u64 {
+        self.store.as_ref().map(|s| s.bytes()).unwrap_or(0)
+    }
+
+    /// Number of tracks with stored segments.
+    pub fn num_resident(&self) -> usize {
+        self.store.as_ref().map(|s| s.num_tracks()).unwrap_or(0)
+    }
+
+    /// Whether this track's segments are stored.
+    pub fn is_resident(&self, id: Track3dId) -> bool {
+        self.store.as_ref().is_some_and(|s| s.of(id).is_some())
+    }
+}
+
+/// Double-buffered boundary angular flux (single precision, as in the
+/// paper). Slot layout: `(track * 2 + dir) * G + g`, dir 0 = forward.
+pub struct FluxBanks {
+    pub groups: usize,
+    incoming: Vec<AtomicU32>,
+    outgoing: Vec<AtomicU32>,
+    /// Captured boundary-exiting flux, indexed like the other banks by the
+    /// *exiting* traversal. Kept separate from `outgoing` because a
+    /// traversal's own slot there belongs to its upstream neighbour's
+    /// deposit; mixing the two re-injects exiting flux at chain tails.
+    boundary: Vec<AtomicU32>,
+}
+
+impl FluxBanks {
+    pub fn new(num_tracks: usize, groups: usize) -> Self {
+        assert!(groups <= MAX_GROUPS);
+        let n = num_tracks * 2 * groups;
+        Self {
+            groups,
+            incoming: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            outgoing: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            boundary: (0..n).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn base(&self, track: u32, dir: usize) -> usize {
+        (track as usize * 2 + dir) * self.groups
+    }
+
+    /// Reads the incoming flux of a traversal into `psi`.
+    #[inline]
+    pub fn load_incoming(&self, track: u32, dir: usize, psi: &mut [f64]) {
+        let b = self.base(track, dir);
+        for (g, p) in psi.iter_mut().enumerate().take(self.groups) {
+            *p = f32::from_bits(self.incoming[b + g].load(Ordering::Relaxed)) as f64;
+        }
+    }
+
+    /// Deposits an outgoing flux into the next iteration's incoming slot.
+    #[inline]
+    pub fn store_outgoing(&self, track: u32, dir: usize, psi: &[f64]) {
+        let b = self.base(track, dir);
+        for g in 0..self.groups {
+            self.outgoing[b + g].store((psi[g] as f32).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites an incoming slot directly (used by the rank-exchange
+    /// scatter).
+    #[inline]
+    pub fn set_incoming(&self, track: u32, dir: usize, psi: &[f32]) {
+        let b = self.base(track, dir);
+        for g in 0..self.groups {
+            self.incoming[b + g].store(psi[g].to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Reads an outgoing slot (used by the rank-exchange gather).
+    #[inline]
+    pub fn get_outgoing(&self, track: u32, dir: usize, psi: &mut [f32]) {
+        let b = self.base(track, dir);
+        for (g, p) in psi.iter_mut().enumerate().take(self.groups) {
+            *p = f32::from_bits(self.outgoing[b + g].load(Ordering::Relaxed));
+        }
+    }
+
+    /// Zeroes an incoming slot (true-vacuum entries after a bank swap).
+    #[inline]
+    pub fn zero_incoming(&self, track: u32, dir: usize) {
+        let b = self.base(track, dir);
+        for g in 0..self.groups {
+            self.incoming[b + g].store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the boundary-exiting flux of a traversal (read back by the
+    /// rank exchange).
+    #[inline]
+    pub fn store_boundary(&self, track: u32, dir: usize, psi: &[f64]) {
+        let b = self.base(track, dir);
+        for g in 0..self.groups {
+            self.boundary[b + g].store((psi[g] as f32).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Reads a captured boundary exit.
+    #[inline]
+    pub fn get_boundary(&self, track: u32, dir: usize, psi: &mut [f32]) {
+        let b = self.base(track, dir);
+        for (g, p) in psi.iter_mut().enumerate().take(self.groups) {
+            *p = f32::from_bits(self.boundary[b + g].load(Ordering::Relaxed));
+        }
+    }
+
+    /// Makes the outgoing bank the next incoming bank and clears the new
+    /// outgoing bank.
+    pub fn swap(&mut self) {
+        std::mem::swap(&mut self.incoming, &mut self.outgoing);
+        for v in &self.outgoing {
+            v.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Scales all banks (per-iteration source normalisation).
+    pub fn scale(&self, factor: f64) {
+        for bank in [&self.incoming, &self.outgoing, &self.boundary] {
+            for v in bank {
+                let x = f32::from_bits(v.load(Ordering::Relaxed));
+                v.store(((x as f64 * factor) as f32).to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Relaxed-order atomic `f64 +=` by compare-exchange (the software
+/// equivalent of the GPU `atomicAdd` the paper uses for FSR flux tallies).
+#[inline]
+pub fn atomic_add_f64(slot: &AtomicU64, value: f64) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + value).to_bits();
+        match slot.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Result of one full transport sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Accumulated `sum(w * delta psi)` per `(fsr, group)`.
+    pub phi_acc: Vec<f64>,
+    /// Weighted flux leaked through vacuum boundaries.
+    pub leakage: f64,
+    /// 3D segments processed (both directions).
+    pub segments: u64,
+}
+
+/// Sweeps one track in both directions. Returns `(segments, leakage)`.
+///
+/// `scratch` holds the OTF-generated `(fsr3d, length)` list; stored tracks
+/// use their slice directly.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_one_track(
+    problem: &Problem,
+    segsrc: &SegmentSource,
+    q: &[f64],
+    phi_acc: &[AtomicU64],
+    banks: &FluxBanks,
+    track: u32,
+    scratch: &mut Vec<(u32, f32)>,
+) -> (u64, f64) {
+    let g = problem.num_groups();
+    let st = &problem.sweep_tracks[track as usize];
+    let xs = &problem.xs;
+
+    // Obtain the segment list (stored or regenerated).
+    let stored = segsrc.store.as_ref().and_then(|s| s.of(Track3dId(track)));
+    let regenerated = stored.is_none();
+    if regenerated {
+        scratch.clear();
+        let info = Track3dInfo {
+            track2d: TrackId(st.track2d),
+            forward2d: st.forward2d,
+            azim: 0, // unused by trace_3d
+            polar: 0,
+            ascending: st.ascending,
+            u_lo: st.u_lo,
+            u_hi: st.u_hi,
+            z_lo: st.z_lo,
+            cot: st.cot,
+            sin_theta: 1.0 / st.inv_sin,
+            length: (st.u_hi - st.u_lo) * st.inv_sin,
+        };
+        let base = problem.layout.segments2d.of(TrackId(st.track2d));
+        let fsr3d = &problem.layout.fsr3d;
+        trace_3d(&info, base, &problem.axial, |fsr, cell, len| {
+            scratch.push((fsr3d.id(fsr, cell as usize).0, len as f32));
+        });
+    }
+
+    let mut psi = [0.0f64; MAX_GROUPS];
+    let mut leak = 0.0f64;
+    let mut segs = 0u64;
+    for dir in 0..2usize {
+        banks.load_incoming(track, dir, &mut psi[..g]);
+        let run = |psi: &mut [f64; MAX_GROUPS], fsr: u32, len: f32| {
+            let f = fsr as usize;
+            let mat = xs.fsr_mat[f] as usize * g;
+            let qb = f * g;
+            for gi in 0..g {
+                let sig = xs.sigma_t[mat + gi];
+                let e = -(-sig * len as f64).exp_m1(); // 1 - exp(-tau)
+                let dpsi = (psi[gi] - q[qb + gi]) * e;
+                atomic_add_f64(&phi_acc[qb + gi], st.weight * dpsi);
+                psi[gi] -= dpsi;
+            }
+        };
+        match stored {
+            Some(slice) => {
+                if dir == 0 {
+                    for s in slice {
+                        run(&mut psi, s.fsr3d, s.length);
+                    }
+                } else {
+                    for s in slice.iter().rev() {
+                        run(&mut psi, s.fsr3d, s.length);
+                    }
+                }
+                segs += slice.len() as u64;
+            }
+            None => {
+                if dir == 0 {
+                    for &(f, l) in scratch.iter() {
+                        run(&mut psi, f, l);
+                    }
+                } else {
+                    for &(f, l) in scratch.iter().rev() {
+                        run(&mut psi, f, l);
+                    }
+                }
+                segs += scratch.len() as u64;
+            }
+        }
+        match st.links[dir] {
+            Link3d::Vacuum => {
+                for p in psi.iter().take(g) {
+                    leak += st.weight * *p;
+                }
+                // Capture the boundary exit for the rank exchange.
+                banks.store_boundary(track, dir, &psi[..g]);
+            }
+            Link3d::Next { track: t2, forward } => {
+                let dir2 = if forward { 0 } else { 1 };
+                banks.store_outgoing(t2.0, dir2, &psi[..g]);
+            }
+        }
+    }
+    (segs, leak)
+}
+
+/// A full parallel transport sweep over every track (the reference / CPU
+/// execution; the device solver drives the same kernel through the
+/// simulated GPU).
+pub fn transport_sweep(
+    problem: &Problem,
+    segsrc: &SegmentSource,
+    q: &[f64],
+    banks: &FluxBanks,
+) -> SweepOutcome {
+    let nf = problem.num_fsrs() * problem.num_groups();
+    let phi_acc: Vec<AtomicU64> = (0..nf).map(|_| AtomicU64::new(0)).collect();
+
+    let (segments, leakage) = (0..problem.num_tracks() as u32)
+        .into_par_iter()
+        .fold(
+            || (Vec::new(), 0u64, 0.0f64),
+            |(mut scratch, segs, leak), t| {
+                let (s, l) =
+                    sweep_one_track(problem, segsrc, q, &phi_acc, banks, t, &mut scratch);
+                (scratch, segs + s, leak + l)
+            },
+        )
+        .map(|(_, s, l)| (s, l))
+        .reduce(|| (0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
+
+    SweepOutcome {
+        phi_acc: phi_acc.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))).collect(),
+        leakage,
+        segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+    use antmoc_geom::geometry::homogeneous_box;
+    use antmoc_geom::{AxialModel, BoundaryConds};
+    use antmoc_track::TrackParams;
+    use antmoc_xs::c5g7;
+
+    fn vac_problem() -> Problem {
+        let lib = c5g7::library();
+        let (uo2, _) = lib.by_name("UO2").unwrap();
+        let g = homogeneous_box(uo2, 2.0, 2.0, (0.0, 2.0), BoundaryConds::vacuum());
+        let axial = AxialModel::uniform(0.0, 2.0, 1.0);
+        let params = TrackParams {
+            num_azim: 4,
+            radial_spacing: 0.5,
+            num_polar: 2,
+            axial_spacing: 0.5,
+            ..Default::default()
+        };
+        Problem::build(g, axial, &lib, params)
+    }
+
+    #[test]
+    fn atomic_f64_add_is_correct_under_contention() {
+        let slot = AtomicU64::new(0f64.to_bits());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        atomic_add_f64(&slot, 0.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(f64::from_bits(slot.load(Ordering::Relaxed)), 40_000.0);
+    }
+
+    #[test]
+    fn flux_banks_round_trip_and_swap() {
+        let mut banks = FluxBanks::new(3, 7);
+        let psi = [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        banks.store_outgoing(2, 1, &psi);
+        let mut got32 = [0.0f32; 7];
+        banks.get_outgoing(2, 1, &mut got32);
+        assert_eq!(got32[6], 7.0);
+        banks.swap();
+        let mut got = [0.0f64; 7];
+        banks.load_incoming(2, 1, &mut got);
+        assert_eq!(got, psi);
+        // Outgoing cleared after swap.
+        banks.get_outgoing(2, 1, &mut got32);
+        assert!(got32.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn flux_banks_scale_both_banks() {
+        let banks = FluxBanks::new(1, 2);
+        banks.set_incoming(0, 0, &[2.0, 4.0]);
+        banks.store_outgoing(0, 0, &[8.0, 16.0]);
+        banks.scale(0.5);
+        let mut inc = [0.0f64; 2];
+        banks.load_incoming(0, 0, &mut inc);
+        assert_eq!(inc, [1.0, 2.0]);
+        let mut out = [0.0f32; 2];
+        banks.get_outgoing(0, 0, &mut out);
+        assert_eq!(out, [4.0, 8.0]);
+    }
+
+    #[test]
+    fn zero_source_zero_inflow_sweep_is_zero() {
+        let p = vac_problem();
+        let segsrc = SegmentSource::otf();
+        let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+        let q = vec![0.0f64; p.num_fsrs() * p.num_groups()];
+        let out = transport_sweep(&p, &segsrc, &q, &banks);
+        assert!(out.phi_acc.iter().all(|&x| x == 0.0));
+        assert_eq!(out.leakage, 0.0);
+        assert_eq!(out.segments, p.num_3d_segments() * 2);
+    }
+
+    #[test]
+    fn stored_and_otf_sweeps_agree() {
+        let p = vac_problem();
+        let all: Vec<Track3dId> = p.layout.tracks3d.ids().collect();
+        let exp = SegmentSource::stored(&p, &all);
+        let otf = SegmentSource::otf();
+        // Uniform source, no inflow.
+        let q = vec![0.25f64; p.num_fsrs() * p.num_groups()];
+        let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+        let a = transport_sweep(&p, &exp, &q, &banks);
+        let banks2 = FluxBanks::new(p.num_tracks(), p.num_groups());
+        let b = transport_sweep(&p, &otf, &q, &banks2);
+        assert_eq!(a.segments, b.segments);
+        for (x, y) in a.phi_acc.iter().zip(&b.phi_acc) {
+            // f32 segment lengths in the store vs f64 OTF: tiny drift.
+            assert!((x - y).abs() < 1e-5 * x.abs().max(1.0), "{x} vs {y}");
+        }
+        assert!((a.leakage - b.leakage).abs() < 1e-5 * a.leakage.abs().max(1.0));
+    }
+
+    #[test]
+    fn positive_source_leaks_from_vacuum_box() {
+        let p = vac_problem();
+        let segsrc = SegmentSource::otf();
+        let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+        let q = vec![1.0f64; p.num_fsrs() * p.num_groups()];
+        let out = transport_sweep(&p, &segsrc, &q, &banks);
+        assert!(out.leakage > 0.0, "vacuum box must leak");
+        // With psi_in = 0 < q, delta psi is negative (flux builds up along
+        // the track), so phi_acc is negative; the scalar-flux update adds
+        // 4*pi*q back. Just check finiteness and sign sanity here.
+        assert!(out.phi_acc.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn beam_attenuates_exponentially() {
+        // Direct check of the segment sweep math: zero source, a unit
+        // incoming angular flux on one traversal, one sweep. The flux
+        // arriving at the linked outlet must be exp(-sigma_t * L) with L
+        // the 3D path length of the track.
+        let p = vac_problem();
+        let segsrc = SegmentSource::otf();
+        let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+        let g = p.num_groups();
+        let track = 0u32;
+        let psi_in = [1.0f64; MAX_GROUPS];
+        banks.set_incoming(track, 0, &[1.0f32; 7]);
+        let q = vec![0.0f64; p.num_fsrs() * g];
+        let phi_acc: Vec<AtomicU64> = (0..p.num_fsrs() * g).map(|_| AtomicU64::new(0)).collect();
+        let mut scratch = Vec::new();
+        let _ = sweep_one_track(&p, &segsrc, &q, &phi_acc, &banks, track, &mut scratch);
+
+        // Reconstruct the expected attenuation from the OTF segments.
+        let st = &p.sweep_tracks[track as usize];
+        let mut tau = [0.0f64; MAX_GROUPS];
+        for &(fsr, len) in scratch.iter() {
+            let mat = p.xs.fsr_mat[fsr as usize] as usize * g;
+            for gi in 0..g {
+                tau[gi] += p.xs.sigma_t[mat + gi] * len as f64;
+            }
+        }
+        // The outgoing flux was captured in the boundary bank (vacuum).
+        let mut out = [0.0f32; 7];
+        banks.get_boundary(track, 0, &mut out);
+        for gi in 0..g {
+            let expect = psi_in[gi] * (-tau[gi]).exp();
+            assert!(
+                (out[gi] as f64 - expect).abs() < 1e-6 + 1e-4 * expect,
+                "group {gi}: {} vs {expect} (track weight {})",
+                out[gi],
+                st.weight
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_flux_accumulation_conserves_track_loss() {
+        // For one track with zero source: sum of w * delta psi over the
+        // segments equals w * (psi_in - psi_out) per group.
+        let p = vac_problem();
+        let segsrc = SegmentSource::otf();
+        let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+        let g = p.num_groups();
+        let track = 3u32;
+        banks.set_incoming(track, 0, &[2.0f32; 7]);
+        let q = vec![0.0f64; p.num_fsrs() * g];
+        let phi_acc: Vec<AtomicU64> = (0..p.num_fsrs() * g).map(|_| AtomicU64::new(0)).collect();
+        let mut scratch = Vec::new();
+        let _ = sweep_one_track(&p, &segsrc, &q, &phi_acc, &banks, track, &mut scratch);
+        let mut out = [0.0f32; 7];
+        banks.get_boundary(track, 0, &mut out);
+        let st = &p.sweep_tracks[track as usize];
+        for gi in 0..g {
+            let acc: f64 = (0..p.num_fsrs())
+                .map(|f| f64::from_bits(phi_acc[f * g + gi].load(Ordering::Relaxed)))
+                .sum();
+            let expect = st.weight * (2.0 - out[gi] as f64);
+            assert!(
+                (acc - expect).abs() < 1e-6 * expect.abs().max(1.0),
+                "group {gi}: acc {acc} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn manager_source_mixes_resident_and_otf() {
+        let p = vac_problem();
+        let half: Vec<Track3dId> = p.layout.tracks3d.ids().step_by(2).collect();
+        let src = SegmentSource::stored(&p, &half);
+        assert_eq!(src.num_resident(), half.len());
+        assert!(src.stored_bytes() > 0);
+        let q = vec![0.5f64; p.num_fsrs() * p.num_groups()];
+        let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+        let mixed = transport_sweep(&p, &src, &q, &banks);
+        let banks2 = FluxBanks::new(p.num_tracks(), p.num_groups());
+        let pure = transport_sweep(&p, &SegmentSource::otf(), &q, &banks2);
+        for (x, y) in mixed.phi_acc.iter().zip(&pure.phi_acc) {
+            assert!((x - y).abs() < 1e-5 * x.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Binary serialisation of 2D track sets and their segments.
+//!
+//! Track generation and 2D ray tracing are the expensive setup stages of
+//! large runs; the paper's artifact stores its models with the code and
+//! reads run state back from logs. This module gives the reproduction the
+//! equivalent capability: dump the `(tracks, segments)` product to a
+//! compact little-endian binary file and restore it bit-exactly, so a
+//! laydown computed once can be shared between runs and machines.
+//!
+//! Format (version 1):
+//! ```text
+//! magic "ANTMOCTK" | u32 version
+//! u32 num_half_angles | f64 angles... | f64 weights(implicit) | f64 spacings... | u64 counts...
+//! u64 num_tracks | per track: u32 azim, f64 x0,y0,x1,y1, phi, length,
+//!                  link fwd (u8 kind, u32 track, u8 forward), link bwd
+//! u64 num_segments | per track u32 counts... | per segment: u32 fsr, f64 length
+//! ```
+
+use std::io::{self, Read, Write};
+
+use antmoc_geom::FsrId;
+use antmoc_quadrature::AzimuthalQuadrature;
+
+use crate::segment2d::{Segment2d, SegmentStore2d};
+use crate::track2d::{Link, Track2d, TrackId, TrackSet2d};
+
+const MAGIC: &[u8; 8] = b"ANTMOCTK";
+const VERSION: u32 = 1;
+
+/// Errors from reading a track file.
+#[derive(Debug)]
+pub enum TrackIoError {
+    Io(io::Error),
+    BadMagic,
+    BadVersion(u32),
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for TrackIoError {
+    fn from(e: io::Error) -> Self {
+        TrackIoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for TrackIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrackIoError::Io(e) => write!(f, "track file I/O error: {e}"),
+            TrackIoError::BadMagic => write!(f, "not a track file (bad magic)"),
+            TrackIoError::BadVersion(v) => write!(f, "unsupported track file version {v}"),
+            TrackIoError::Corrupt(what) => write!(f, "corrupt track file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TrackIoError {}
+
+fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn r_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn write_link<W: Write>(w: &mut W, link: Link) -> io::Result<()> {
+    match link {
+        Link::Vacuum => {
+            w.write_all(&[0u8])?;
+            w_u32(w, 0)?;
+            w.write_all(&[0u8])
+        }
+        Link::Next { track, forward } => {
+            w.write_all(&[1u8])?;
+            w_u32(w, track.0)?;
+            w.write_all(&[forward as u8])
+        }
+    }
+}
+
+fn read_link<R: Read>(r: &mut R) -> Result<Link, TrackIoError> {
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    let track = r_u32(r)?;
+    let mut fwd = [0u8; 1];
+    r.read_exact(&mut fwd)?;
+    match kind[0] {
+        0 => Ok(Link::Vacuum),
+        1 => Ok(Link::Next { track: TrackId(track), forward: fwd[0] != 0 }),
+        _ => Err(TrackIoError::Corrupt("unknown link kind")),
+    }
+}
+
+/// Writes a 2D track set and its segments.
+pub fn write_tracks<W: Write>(
+    w: &mut W,
+    tracks: &TrackSet2d,
+    segments: &SegmentStore2d,
+) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w_u32(w, VERSION)?;
+
+    let half = tracks.quadrature.num_azim_half();
+    w_u32(w, half as u32)?;
+    for a in 0..half {
+        w_f64(w, tracks.quadrature.phi(a))?;
+    }
+    for s in &tracks.spacings {
+        w_f64(w, *s)?;
+    }
+    for c in &tracks.counts {
+        w_u64(w, *c as u64)?;
+    }
+
+    w_u64(w, tracks.tracks.len() as u64)?;
+    for t in &tracks.tracks {
+        w_u32(w, t.azim as u32)?;
+        for v in [t.start.0, t.start.1, t.end.0, t.end.1, t.phi, t.length] {
+            w_f64(w, v)?;
+        }
+        write_link(w, t.fwd)?;
+        write_link(w, t.bwd)?;
+    }
+
+    w_u64(w, segments.num_segments() as u64)?;
+    for i in 0..tracks.tracks.len() {
+        w_u32(w, segments.of(TrackId(i as u32)).len() as u32)?;
+    }
+    for i in 0..tracks.tracks.len() {
+        for s in segments.of(TrackId(i as u32)) {
+            w_u32(w, s.fsr.0)?;
+            w_f64(w, s.length)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads back what [`write_tracks`] wrote.
+pub fn read_tracks<R: Read>(r: &mut R) -> Result<(TrackSet2d, SegmentStore2d), TrackIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TrackIoError::BadMagic);
+    }
+    let version = r_u32(r)?;
+    if version != VERSION {
+        return Err(TrackIoError::BadVersion(version));
+    }
+
+    let half = r_u32(r)? as usize;
+    if half == 0 || half > 1 << 20 {
+        return Err(TrackIoError::Corrupt("implausible angle count"));
+    }
+    let mut angles = Vec::with_capacity(half);
+    for _ in 0..half {
+        angles.push(r_f64(r)?);
+    }
+    let quadrature = AzimuthalQuadrature::with_corrected_angles(angles);
+    let mut spacings = Vec::with_capacity(half);
+    for _ in 0..half {
+        spacings.push(r_f64(r)?);
+    }
+    let mut counts = Vec::with_capacity(half);
+    for _ in 0..half {
+        counts.push(r_u64(r)? as usize);
+    }
+
+    let n = r_u64(r)? as usize;
+    if n > 1 << 32 {
+        return Err(TrackIoError::Corrupt("implausible track count"));
+    }
+    let mut tracks = Vec::with_capacity(n);
+    for _ in 0..n {
+        let azim = r_u32(r)? as usize;
+        if azim >= half {
+            return Err(TrackIoError::Corrupt("azim out of range"));
+        }
+        let x0 = r_f64(r)?;
+        let y0 = r_f64(r)?;
+        let x1 = r_f64(r)?;
+        let y1 = r_f64(r)?;
+        let phi = r_f64(r)?;
+        let length = r_f64(r)?;
+        let fwd = read_link(r)?;
+        let bwd = read_link(r)?;
+        if let Link::Next { track, .. } = fwd {
+            if track.0 as usize >= n {
+                return Err(TrackIoError::Corrupt("link out of range"));
+            }
+        }
+        tracks.push(Track2d { azim, start: (x0, y0), end: (x1, y1), phi, length, fwd, bwd });
+    }
+
+    let total_segments = r_u64(r)? as usize;
+    let mut per_track = Vec::with_capacity(n);
+    let mut sum = 0usize;
+    for _ in 0..n {
+        let c = r_u32(r)? as usize;
+        sum += c;
+        per_track.push(c);
+    }
+    if sum != total_segments {
+        return Err(TrackIoError::Corrupt("segment counts do not sum"));
+    }
+    let mut flat: Vec<Vec<Segment2d>> = Vec::with_capacity(n);
+    for &c in &per_track {
+        let mut v = Vec::with_capacity(c);
+        for _ in 0..c {
+            let fsr = r_u32(r)?;
+            let length = r_f64(r)?;
+            v.push(Segment2d { fsr: FsrId(fsr), length });
+        }
+        flat.push(v);
+    }
+    let segments = SegmentStore2d::from_per_track(flat);
+    let set = TrackSet2d { tracks, quadrature, spacings, counts };
+    Ok((set, segments))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::track2d::generate;
+    use antmoc_geom::geometry::homogeneous_box;
+    use antmoc_geom::BoundaryConds;
+    use antmoc_xs::MaterialId;
+
+    fn sample() -> (TrackSet2d, SegmentStore2d) {
+        let g = homogeneous_box(MaterialId(0), 4.0, 3.0, (0.0, 1.0), BoundaryConds::reflective());
+        let t = generate(&g, 8, 0.4);
+        let s = SegmentStore2d::trace(&g, &t);
+        (t, s)
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let (t, s) = sample();
+        let mut buf = Vec::new();
+        write_tracks(&mut buf, &t, &s).unwrap();
+        let (t2, s2) = read_tracks(&mut buf.as_slice()).unwrap();
+        assert_eq!(t.tracks.len(), t2.tracks.len());
+        for (a, b) in t.tracks.iter().zip(&t2.tracks) {
+            assert_eq!(a.azim, b.azim);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.end, b.end);
+            assert_eq!(a.phi, b.phi);
+            assert_eq!(a.length, b.length);
+            assert_eq!(a.fwd, b.fwd);
+            assert_eq!(a.bwd, b.bwd);
+        }
+        assert_eq!(s.num_segments(), s2.num_segments());
+        for i in 0..t.tracks.len() {
+            assert_eq!(s.of(TrackId(i as u32)), s2.of(TrackId(i as u32)));
+        }
+        // Quadrature weights reconstruct identically.
+        for a in 0..t.quadrature.num_azim() {
+            assert_eq!(t.quadrature.phi(a), t2.quadrature.phi(a));
+            assert!((t.quadrature.weight(a) - t2.quadrature.weight(a)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_tracks(&mut &b"NOTATRCK________"[..]).unwrap_err();
+        assert!(matches!(err, TrackIoError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        let err = read_tracks(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TrackIoError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let (t, s) = sample();
+        let mut buf = Vec::new();
+        write_tracks(&mut buf, &t, &s).unwrap();
+        // Truncate at a spread of offsets; every one must fail cleanly.
+        for cut in [9, 13, 60, buf.len() / 2, buf.len() - 1] {
+            let err = read_tracks(&mut &buf[..cut]).err();
+            assert!(err.is_some(), "cut at {cut} was accepted");
+        }
+    }
+}

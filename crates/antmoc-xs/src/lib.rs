@@ -1,0 +1,35 @@
+//! Multigroup macroscopic cross-section library.
+//!
+//! MOC solves the multigroup neutron transport equation; every flat source
+//! region carries a homogeneous material described by its macroscopic
+//! cross sections per energy group: total (transport-corrected), absorption,
+//! fission, `nu` (neutrons per fission), the fission spectrum `chi`, and the
+//! full group-to-group scattering matrix.
+//!
+//! The crate ships the seven-group **C5G7** benchmark data
+//! (OECD/NEA C5G7-MOX, NEA/NSC/DOC(2001)4 and its 3D extension), which is
+//! the validation problem used throughout the ANT-MOC paper (§5).
+
+pub mod c5g7;
+pub mod material;
+
+pub use material::{Material, MaterialId, MaterialLibrary};
+
+/// Number of energy groups in the C5G7 benchmark.
+pub const C5G7_GROUPS: usize = 7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c5g7_library_has_seven_materials() {
+        let lib = c5g7::library();
+        assert_eq!(lib.len(), 7);
+        for name in [
+            "UO2", "MOX-4.3", "MOX-7.0", "MOX-8.7", "fission-chamber", "guide-tube", "moderator",
+        ] {
+            assert!(lib.by_name(name).is_some(), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Material definitions: multigroup macroscopic cross sections.
+
+/// Index of a material in a [`MaterialLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MaterialId(pub u32);
+
+/// A homogeneous material with `G` energy groups of macroscopic data.
+///
+/// All cross sections are in units of cm^-1. `scatter[g][g2]` is the
+/// scattering production cross section *from* group `g` *into* group `g2`
+/// (row = source group), matching the NEA benchmark table layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Material {
+    /// Human-readable name, unique within a library.
+    pub name: String,
+    /// Transport-corrected total cross section per group.
+    pub total: Vec<f64>,
+    /// Absorption cross section per group.
+    pub absorption: Vec<f64>,
+    /// Fission cross section per group.
+    pub fission: Vec<f64>,
+    /// Mean neutrons emitted per fission, per group.
+    pub nu: Vec<f64>,
+    /// Fission emission spectrum; sums to 1 for fissile materials,
+    /// all-zero otherwise.
+    pub chi: Vec<f64>,
+    /// Scattering matrix, `scatter[from][to]`.
+    pub scatter: Vec<Vec<f64>>,
+}
+
+impl Material {
+    /// Number of energy groups.
+    pub fn num_groups(&self) -> usize {
+        self.total.len()
+    }
+
+    /// `nu * sigma_f` for group `g`.
+    #[inline]
+    pub fn nu_sigma_f(&self, g: usize) -> f64 {
+        self.nu[g] * self.fission[g]
+    }
+
+    /// Whether any group has a non-zero fission cross section.
+    pub fn is_fissile(&self) -> bool {
+        self.fission.iter().any(|&f| f > 0.0)
+    }
+
+    /// Total out-scattering from group `g` (row sum).
+    pub fn scatter_out(&self, g: usize) -> f64 {
+        self.scatter[g].iter().sum()
+    }
+
+    /// Checks internal consistency and returns a list of human-readable
+    /// problems (empty when the material is physically sensible):
+    ///
+    /// * all vectors have the same group count and the matrix is square;
+    /// * no negative entries;
+    /// * `chi` sums to 1 for fissile materials and 0 otherwise;
+    /// * `absorption + scatter_out <= total * (1 + tol)` per group (the
+    ///   transport correction can make the inequality slightly loose, so a
+    ///   tolerance is accepted rather than equality).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let g = self.num_groups();
+        for (label, v) in [
+            ("absorption", &self.absorption),
+            ("fission", &self.fission),
+            ("nu", &self.nu),
+            ("chi", &self.chi),
+        ] {
+            if v.len() != g {
+                problems.push(format!("{}: {} groups, expected {}", label, v.len(), g));
+            }
+        }
+        if self.scatter.len() != g || self.scatter.iter().any(|row| row.len() != g) {
+            problems.push(format!("scatter matrix is not {g}x{g}"));
+        }
+        let neg = |v: &[f64]| v.iter().any(|&x| x < 0.0);
+        if neg(&self.total) || neg(&self.absorption) || neg(&self.fission) || neg(&self.nu) || neg(&self.chi)
+        {
+            problems.push("negative cross-section entry".into());
+        }
+        if self.scatter.iter().any(|row| neg(row)) {
+            problems.push("negative scattering entry".into());
+        }
+        let chi_sum: f64 = self.chi.iter().sum();
+        if self.is_fissile() {
+            if (chi_sum - 1.0).abs() > 1e-4 {
+                problems.push(format!("chi sums to {chi_sum}, expected 1"));
+            }
+        } else if chi_sum != 0.0 {
+            problems.push("non-fissile material has a fission spectrum".into());
+        }
+        if problems.is_empty() {
+            // Balance check: with transport correction the within-group
+            // scattering absorbs the correction, so allow generous slack
+            // but catch order-of-magnitude mistakes.
+            for gi in 0..g {
+                let bal = self.absorption[gi] + self.scatter_out(gi);
+                if bal > self.total[gi] * 1.25 + 1e-6 {
+                    problems.push(format!(
+                        "group {gi}: absorption+scatter {bal:.6} far exceeds total {:.6}",
+                        self.total[gi]
+                    ));
+                }
+            }
+        }
+        problems
+    }
+}
+
+/// An ordered collection of materials addressed by [`MaterialId`] or name.
+#[derive(Debug, Clone, Default)]
+pub struct MaterialLibrary {
+    materials: Vec<Material>,
+}
+
+impl MaterialLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a material, returning its id. Panics if the name is already
+    /// present or if the material fails [`Material::validate`].
+    pub fn add(&mut self, material: Material) -> MaterialId {
+        assert!(
+            self.by_name(&material.name).is_none(),
+            "duplicate material name {:?}",
+            material.name
+        );
+        let problems = material.validate();
+        assert!(
+            problems.is_empty(),
+            "invalid material {:?}: {problems:?}",
+            material.name
+        );
+        let id = MaterialId(self.materials.len() as u32);
+        self.materials.push(material);
+        id
+    }
+
+    /// Number of materials.
+    pub fn len(&self) -> usize {
+        self.materials.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.materials.is_empty()
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: MaterialId) -> &Material {
+        &self.materials[id.0 as usize]
+    }
+
+    /// Look up by name.
+    pub fn by_name(&self, name: &str) -> Option<(MaterialId, &Material)> {
+        self.materials
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.name == name)
+            .map(|(i, m)| (MaterialId(i as u32), m))
+    }
+
+    /// Iterate over `(id, material)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MaterialId, &Material)> {
+        self.materials
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MaterialId(i as u32), m))
+    }
+
+    /// Number of groups shared by the materials (panics when empty, asserts
+    /// homogeneity in debug builds).
+    pub fn num_groups(&self) -> usize {
+        let g = self.materials.first().expect("empty library").num_groups();
+        debug_assert!(self.materials.iter().all(|m| m.num_groups() == g));
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(name: &str) -> Material {
+        Material {
+            name: name.into(),
+            total: vec![1.0, 1.5],
+            absorption: vec![0.4, 0.9],
+            fission: vec![0.2, 0.5],
+            nu: vec![2.4, 2.4],
+            chi: vec![1.0, 0.0],
+            scatter: vec![vec![0.5, 0.1], vec![0.0, 0.6]],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent_material() {
+        assert!(tiny("ok").validate().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_negative_entries() {
+        let mut m = tiny("bad");
+        m.absorption[0] = -0.1;
+        assert!(!m.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_bad_chi_for_fissile() {
+        let mut m = tiny("bad-chi");
+        m.chi = vec![0.5, 0.0];
+        assert!(m.validate().iter().any(|p| p.contains("chi")));
+    }
+
+    #[test]
+    fn validate_rejects_chi_on_nonfissile() {
+        let mut m = tiny("no-fission");
+        m.fission = vec![0.0, 0.0];
+        assert!(m.validate().iter().any(|p| p.contains("spectrum")));
+    }
+
+    #[test]
+    fn validate_flags_unbalanced_groups() {
+        let mut m = tiny("unbalanced");
+        m.scatter[0][0] = 5.0;
+        assert!(m.validate().iter().any(|p| p.contains("exceeds total")));
+    }
+
+    #[test]
+    fn library_round_trips_by_name_and_id() {
+        let mut lib = MaterialLibrary::new();
+        let a = lib.add(tiny("a"));
+        let b = lib.add(tiny("b"));
+        assert_ne!(a, b);
+        assert_eq!(lib.get(a).name, "a");
+        assert_eq!(lib.by_name("b").unwrap().0, b);
+        assert_eq!(lib.num_groups(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn library_rejects_duplicate_names() {
+        let mut lib = MaterialLibrary::new();
+        lib.add(tiny("a"));
+        lib.add(tiny("a"));
+    }
+
+    #[test]
+    fn nu_sigma_f_and_fissile() {
+        let m = tiny("f");
+        assert!((m.nu_sigma_f(0) - 0.48).abs() < 1e-12);
+        assert!(m.is_fissile());
+        let mut n = tiny("n");
+        n.fission = vec![0.0, 0.0];
+        n.chi = vec![0.0, 0.0];
+        assert!(!n.is_fissile());
+    }
+}

@@ -1,0 +1,139 @@
+//! The `antmoc` command-line runner — the reproduction's analogue of the
+//! paper's `newmoc -config=config.yaml` artifact binary.
+//!
+//! ```text
+//! antmoc --config run/config.ini [--csv rates.csv] [--vtk rates.vtk] [--heatmap]
+//! ```
+//!
+//! The run log mirrors the stages of the paper's Fig. 2 and ends with the
+//! timing/storage indicators its artifact appendix describes.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use antmoc::{run, RunConfig};
+
+struct Args {
+    config: Option<String>,
+    csv: Option<String>,
+    vtk: Option<String>,
+    heatmap: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { config: None, csv: None, vtk: None, heatmap: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" | "-c" => {
+                args.config = Some(it.next().ok_or("--config needs a path")?);
+            }
+            "--csv" => args.csv = Some(it.next().ok_or("--csv needs a path")?),
+            "--vtk" => args.vtk = Some(it.next().ok_or("--vtk needs a path")?),
+            "--heatmap" => args.heatmap = true,
+            "--help" | "-h" => {
+                println!(
+                    "antmoc — 3D MOC neutron transport (ANT-MOC reproduction)\n\n\
+                     USAGE: antmoc --config <file.ini> [--csv out.csv] [--vtk out.vtk] [--heatmap]\n\n\
+                     Without --config a coarse built-in C5G7 configuration runs."
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with("--config=") => {
+                args.config = Some(other["--config=".len()..].to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = match &args.config {
+        None => {
+            eprintln!("note: no --config given; using the built-in coarse C5G7 setup");
+            RunConfig::parse(
+                "[tracks]\nnum_azim = 4\nradial_spacing = 0.8\nnum_polar = 2\naxial_spacing = 8.0\n\
+                 [solver]\ntolerance = 1e-4\nmax_iterations = 800\nmode = otf\nbackend = cpu\n",
+            )
+            .expect("built-in config parses")
+        }
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match RunConfig::parse(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    println!("[ antmoc ] C5G7 3D extension");
+    println!("[ stage 1 ] configuration read");
+    println!(
+        "            tracks: {} azim x {} polar, radial {} cm, axial {} cm",
+        config.tracks.num_azim,
+        config.tracks.num_polar,
+        config.tracks.radial_spacing,
+        config.tracks.axial_spacing
+    );
+    println!(
+        "            decomposition {}x{}x{}, mode {:?}",
+        config.decomposition.0, config.decomposition.1, config.decomposition.2, config.mode
+    );
+
+    let report = run(&config);
+
+    println!("[ stage 2 ] geometry constructed          {:8.2} s", report.timings.geometry);
+    println!(
+        "[ stage 3 ] tracks generated & ray traced {:8.2} s   ({} 2D tracks, {} 3D tracks, {} 3D segments)",
+        report.timings.tracking, report.num_2d_tracks, report.num_3d_tracks, report.num_3d_segments
+    );
+    println!(
+        "[ stage 4 ] transport solved              {:8.2} s   ({} iterations, converged: {})",
+        report.timings.transport, report.iterations, report.converged
+    );
+    println!("[ stage 5 ] output generated              {:8.2} s", report.timings.output);
+    println!();
+    println!("  k_eff       = {:.6}", report.keff);
+    println!("  FSRs        = {}", report.num_fsrs);
+    if report.comm_bytes > 0 {
+        println!("  comm bytes  = {}", report.comm_bytes);
+    }
+
+    if let Some(path) = &args.csv {
+        let f = BufWriter::new(File::create(path).expect("create csv"));
+        report.pin_rates.write_csv(f).expect("write csv");
+        println!("  wrote {path}");
+    }
+    if let Some(path) = &args.vtk {
+        let f = BufWriter::new(File::create(path).expect("create vtk"));
+        report.pin_rates.write_vtk(f).expect("write vtk");
+        println!("  wrote {path}");
+    }
+    if args.heatmap {
+        println!("\n{}", report.pin_rates.ascii_heatmap());
+    }
+    if !report.converged {
+        eprintln!("warning: transport iteration hit the cap before converging");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,337 @@
+//! Run configuration: the typed form of the paper's `config.yaml` input
+//! (Fig. 2, "Read Configuration"), plus a small hand-rolled INI-style
+//! parser so runs are reproducible from text files without extra
+//! dependencies.
+//!
+//! ```text
+//! # comment
+//! [model]
+//! case = c5g7
+//! rodded = unrodded        ; unrodded | a | b
+//! fuel_rings = 1
+//! sectors = 1
+//! reflector_refine = 0
+//! axial_dz = 14.28
+//!
+//! [tracks]
+//! num_azim = 4
+//! radial_spacing = 0.5
+//! num_polar = 4
+//! axial_spacing = 0.5
+//!
+//! [solver]
+//! tolerance = 1e-5
+//! max_iterations = 600
+//! mode = manager           ; explicit | otf | manager
+//! manager_budget_mb = 64
+//! backend = device         ; cpu | device
+//! device_memory_mb = 256
+//! cu_mapping = sorted      ; grid | sorted
+//!
+//! [decomposition]
+//! nx = 2
+//! ny = 2
+//! nz = 2
+//! ```
+
+use std::collections::HashMap;
+
+use antmoc_geom::c5g7::{C5g7Options, RoddedConfig};
+use antmoc_gpusim::DeviceSpec;
+use antmoc_quadrature::PolarType;
+use antmoc_solver::device::CuMapping;
+use antmoc_solver::{EigenOptions, StorageMode};
+use antmoc_track::TrackParams;
+
+/// Which execution backend runs the sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendConfig {
+    Cpu,
+    Device { memory_bytes: u64, cu_mapping: CuMapping },
+}
+
+/// The full run configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    pub model: C5g7Options,
+    pub tracks: TrackParams,
+    pub eigen: EigenOptions,
+    pub mode: StorageMode,
+    pub backend: BackendConfig,
+    /// Spatial decomposition grid; `(1, 1, 1)` runs single-domain.
+    pub decomposition: (usize, usize, usize),
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            model: C5g7Options::default(),
+            tracks: TrackParams::default(),
+            eigen: EigenOptions::default(),
+            mode: StorageMode::Otf,
+            backend: BackendConfig::Cpu,
+            decomposition: (1, 1, 1),
+        }
+    }
+}
+
+/// A parse failure with line context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl RunConfig {
+    /// Parses the INI-style text format.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut sections: HashMap<String, HashMap<String, (usize, String)>> = HashMap::new();
+        let mut current = String::from("");
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            // Strip comments (# or ;) and whitespace.
+            let stripped = raw.split(['#', ';']).next().unwrap_or("").trim();
+            if stripped.is_empty() {
+                continue;
+            }
+            if let Some(name) = stripped.strip_prefix('[') {
+                let name = name.strip_suffix(']').ok_or_else(|| ConfigError {
+                    line,
+                    message: format!("malformed section header {stripped:?}"),
+                })?;
+                current = name.trim().to_lowercase();
+                sections.entry(current.clone()).or_default();
+                continue;
+            }
+            let (key, value) = stripped.split_once('=').ok_or_else(|| ConfigError {
+                line,
+                message: format!("expected `key = value`, got {stripped:?}"),
+            })?;
+            sections
+                .entry(current.clone())
+                .or_default()
+                .insert(key.trim().to_lowercase(), (line, value.trim().to_string()));
+        }
+
+        let mut cfg = RunConfig::default();
+        let get = |sec: &str, key: &str| -> Option<(usize, String)> {
+            sections.get(sec).and_then(|s| s.get(key)).cloned()
+        };
+        fn parse_num<T: std::str::FromStr>(
+            entry: Option<(usize, String)>,
+            default: T,
+        ) -> Result<T, ConfigError> {
+            match entry {
+                None => Ok(default),
+                Some((line, v)) => v.parse().map_err(|_| ConfigError {
+                    line,
+                    message: format!("could not parse {v:?}"),
+                }),
+            }
+        }
+
+        // [model]
+        if let Some((line, case)) = get("model", "case") {
+            if case.to_lowercase() != "c5g7" {
+                return Err(ConfigError { line, message: format!("unknown case {case:?}") });
+            }
+        }
+        if let Some((line, v)) = get("model", "rodded") {
+            cfg.model.config = match v.to_lowercase().as_str() {
+                "unrodded" => RoddedConfig::Unrodded,
+                "a" | "rodded-a" => RoddedConfig::RoddedA,
+                "b" | "rodded-b" => RoddedConfig::RoddedB,
+                other => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown rodded config {other:?}"),
+                    })
+                }
+            };
+        }
+        cfg.model.fuel_rings = parse_num(get("model", "fuel_rings"), cfg.model.fuel_rings)?;
+        cfg.model.sectors = parse_num(get("model", "sectors"), cfg.model.sectors)?;
+        cfg.model.reflector_refine =
+            parse_num(get("model", "reflector_refine"), cfg.model.reflector_refine)?;
+        cfg.model.axial_dz = parse_num(get("model", "axial_dz"), cfg.model.axial_dz)?;
+
+        // [tracks]
+        cfg.tracks.num_azim = parse_num(get("tracks", "num_azim"), cfg.tracks.num_azim)?;
+        cfg.tracks.radial_spacing =
+            parse_num(get("tracks", "radial_spacing"), cfg.tracks.radial_spacing)?;
+        cfg.tracks.num_polar = parse_num(get("tracks", "num_polar"), cfg.tracks.num_polar)?;
+        cfg.tracks.axial_spacing =
+            parse_num(get("tracks", "axial_spacing"), cfg.tracks.axial_spacing)?;
+        if let Some((line, v)) = get("tracks", "polar_type") {
+            cfg.tracks.polar_type = match v.to_lowercase().as_str() {
+                "gauss" | "gauss-legendre" | "gl" => PolarType::GaussLegendre,
+                "ty" | "tabuchi-yamamoto" => PolarType::TabuchiYamamoto,
+                "equal" => PolarType::EqualWeight,
+                other => {
+                    return Err(ConfigError { line, message: format!("unknown polar type {other:?}") })
+                }
+            };
+        }
+
+        // [solver]
+        cfg.eigen.tolerance = parse_num(get("solver", "tolerance"), cfg.eigen.tolerance)?;
+        cfg.eigen.max_iterations =
+            parse_num(get("solver", "max_iterations"), cfg.eigen.max_iterations)?;
+        let budget_mb: u64 = parse_num(get("solver", "manager_budget_mb"), 64u64)?;
+        if let Some((line, v)) = get("solver", "mode") {
+            cfg.mode = match v.to_lowercase().as_str() {
+                "explicit" | "exp" => StorageMode::Explicit,
+                "otf" => StorageMode::Otf,
+                "manager" => StorageMode::Manager { budget_bytes: budget_mb << 20 },
+                other => {
+                    return Err(ConfigError { line, message: format!("unknown mode {other:?}") })
+                }
+            };
+        }
+        let device_mb: u64 = parse_num(get("solver", "device_memory_mb"), 256u64)?;
+        let mapping = match get("solver", "cu_mapping") {
+            None => CuMapping::SegmentSorted,
+            Some((line, v)) => match v.to_lowercase().as_str() {
+                "grid" | "grid-stride" => CuMapping::GridStride,
+                "sorted" | "l3" => CuMapping::SegmentSorted,
+                other => {
+                    return Err(ConfigError { line, message: format!("unknown cu mapping {other:?}") })
+                }
+            },
+        };
+        if let Some((line, v)) = get("solver", "backend") {
+            cfg.backend = match v.to_lowercase().as_str() {
+                "cpu" => BackendConfig::Cpu,
+                "device" | "gpu" => BackendConfig::Device {
+                    memory_bytes: device_mb << 20,
+                    cu_mapping: mapping,
+                },
+                other => {
+                    return Err(ConfigError { line, message: format!("unknown backend {other:?}") })
+                }
+            };
+        }
+
+        // [decomposition]
+        cfg.decomposition = (
+            parse_num(get("decomposition", "nx"), 1usize)?,
+            parse_num(get("decomposition", "ny"), 1usize)?,
+            parse_num(get("decomposition", "nz"), 1usize)?,
+        );
+        if cfg.decomposition.0 == 0 || cfg.decomposition.1 == 0 || cfg.decomposition.2 == 0 {
+            return Err(ConfigError { line: 0, message: "decomposition dims must be >= 1".into() });
+        }
+
+        Ok(cfg)
+    }
+
+    /// The device spec implied by the backend config.
+    pub fn device_spec(&self) -> Option<DeviceSpec> {
+        match &self.backend {
+            BackendConfig::Cpu => None,
+            BackendConfig::Device { memory_bytes, .. } => Some(DeviceSpec::scaled(*memory_bytes)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# C5G7 validation case (Table 4 of the paper)
+[model]
+case = c5g7
+rodded = unrodded
+fuel_rings = 2
+sectors = 4
+axial_dz = 14.28
+
+[tracks]
+num_azim = 4
+radial_spacing = 0.5
+num_polar = 4
+axial_spacing = 0.1   ; Table 4 axial spacing
+
+[solver]
+tolerance = 1e-5
+max_iterations = 800
+mode = manager
+manager_budget_mb = 128
+backend = device
+device_memory_mb = 512
+cu_mapping = sorted
+
+[decomposition]
+nx = 2
+ny = 2
+nz = 2
+"#;
+
+    #[test]
+    fn parses_the_paper_configuration() {
+        let cfg = RunConfig::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.model.fuel_rings, 2);
+        assert_eq!(cfg.model.sectors, 4);
+        assert_eq!(cfg.tracks.num_azim, 4);
+        assert_eq!(cfg.tracks.num_polar, 4);
+        assert!((cfg.tracks.axial_spacing - 0.1).abs() < 1e-12);
+        assert_eq!(cfg.mode, StorageMode::Manager { budget_bytes: 128 << 20 });
+        assert_eq!(cfg.decomposition, (2, 2, 2));
+        match cfg.backend {
+            BackendConfig::Device { memory_bytes, cu_mapping } => {
+                assert_eq!(memory_bytes, 512 << 20);
+                assert_eq!(cu_mapping, CuMapping::SegmentSorted);
+            }
+            _ => panic!("expected device backend"),
+        }
+    }
+
+    #[test]
+    fn defaults_apply_when_keys_missing() {
+        let cfg = RunConfig::parse("[model]\ncase = c5g7\n").unwrap();
+        assert_eq!(cfg, RunConfig::default());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let cfg = RunConfig::parse("# nothing\n\n; also nothing\n").unwrap();
+        assert_eq!(cfg, RunConfig::default());
+    }
+
+    #[test]
+    fn bad_value_reports_line() {
+        let err = RunConfig::parse("[tracks]\nnum_azim = banana\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("banana"));
+    }
+
+    #[test]
+    fn bad_section_reports_line() {
+        let err = RunConfig::parse("[model\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn unknown_enum_values_fail() {
+        assert!(RunConfig::parse("[solver]\nmode = turbo\n").is_err());
+        assert!(RunConfig::parse("[model]\nrodded = c\n").is_err());
+        assert!(RunConfig::parse("[model]\ncase = bwr\n").is_err());
+    }
+
+    #[test]
+    fn rodded_variants_parse() {
+        let a = RunConfig::parse("[model]\nrodded = a\n").unwrap();
+        assert_eq!(a.model.config, RoddedConfig::RoddedA);
+        let b = RunConfig::parse("[model]\nrodded = rodded-b\n").unwrap();
+        assert_eq!(b.model.config, RoddedConfig::RoddedB);
+    }
+}

@@ -1,0 +1,43 @@
+//! ANT-MOC-RS: scalable 3D Method-of-Characteristics neutron transport.
+//!
+//! This is the top-level crate of the Rust reproduction of *"ANT-MOC:
+//! Scalable Neutral Particle Transport Using 3D Method of Characteristics
+//! on Multi-GPU Systems"* (SC '23). It wires the substrate crates into the
+//! paper's five-stage pipeline (Fig. 2):
+//!
+//! 1. **Read configuration** — [`config::RunConfig`] (INI-style files);
+//! 2. **Geometry construction** — the C5G7 3D extension benchmark from
+//!    `antmoc-geom`;
+//! 3. **Track generation & ray tracing** — `antmoc-track`;
+//! 4. **Transport solving** — `antmoc-solver` (CPU reference, simulated
+//!    GPU, or domain-decomposed cluster backends);
+//! 5. **Output generation** — [`output::PinRates`] with CSV/VTK writers.
+//!
+//! ```no_run
+//! use antmoc::{run, RunConfig};
+//!
+//! let config = RunConfig::parse(
+//!     "[tracks]\nnum_azim = 4\nradial_spacing = 0.5\n",
+//! ).unwrap();
+//! let report = run(&config);
+//! println!("k_eff = {:.5}", report.keff);
+//! ```
+
+pub mod config;
+pub mod output;
+pub mod pipeline;
+
+pub use config::{BackendConfig, RunConfig};
+pub use output::PinRates;
+pub use pipeline::{run, RunReport, StageTimings};
+
+// Re-export the building blocks for example/bench authors.
+pub use antmoc_geom as geom;
+pub use antmoc_gpusim as gpusim;
+pub use antmoc_quadrature as quadrature;
+pub use antmoc_solver as solver;
+pub use antmoc_track as track;
+pub use antmoc_xs as xs;
+pub use antmoc_balance as balance;
+pub use antmoc_cluster as cluster;
+pub use antmoc_perfmodel as perfmodel;

@@ -1,0 +1,57 @@
+//! Quickstart: solve a coarse C5G7 3D eigenvalue problem end-to-end and
+//! print `k_eff` plus an ASCII fission-rate map.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use antmoc::{run, RunConfig};
+
+fn main() {
+    // A coarse configuration that converges in well under a minute.
+    // Tighten `radial_spacing` / `axial_spacing` (e.g. to Table 4's
+    // 0.5 / 0.1) for production accuracy.
+    let config = RunConfig::parse(
+        r#"
+[model]
+case = c5g7
+rodded = unrodded
+axial_dz = 21.42
+
+[tracks]
+num_azim = 4
+radial_spacing = 0.8
+num_polar = 2
+axial_spacing = 10.0
+
+[solver]
+tolerance = 1e-4
+max_iterations = 600
+mode = otf
+backend = cpu
+"#,
+    )
+    .expect("config parses");
+
+    println!("Running C5G7 3D extension (coarse quickstart resolution)...");
+    let report = run(&config);
+
+    println!();
+    println!("  converged       : {}", report.converged);
+    println!("  k_eff           : {:.5}", report.keff);
+    println!("  iterations      : {}", report.iterations);
+    println!("  2D tracks       : {}", report.num_2d_tracks);
+    println!("  3D tracks       : {}", report.num_3d_tracks);
+    println!("  3D segments     : {}", report.num_3d_segments);
+    println!("  FSRs            : {}", report.num_fsrs);
+    println!(
+        "  stage seconds   : geometry {:.2}  tracking {:.2}  transport {:.2}  output {:.2}",
+        report.timings.geometry,
+        report.timings.tracking,
+        report.timings.transport,
+        report.timings.output
+    );
+    println!();
+    println!("Normalised pin fission-rate map (quarter core, reflective corner bottom-left):");
+    println!("{}", report.pin_rates.ascii_heatmap());
+}

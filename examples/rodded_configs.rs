@@ -1,0 +1,59 @@
+//! Rodded-configuration study on the C5G7 3D extension: the unrodded
+//! core vs control-rod banks inserted one and two banks deep (the
+//! benchmark's Rodded A / Rodded B patterns). Demonstrates the axial
+//! material-override machinery and control-rod worth.
+//!
+//! ```text
+//! cargo run --release --example rodded_configs
+//! ```
+
+use antmoc::geom::c5g7::RoddedConfig;
+use antmoc::{run, RunConfig};
+
+fn main() {
+    let base = RunConfig::parse(
+        r#"
+[model]
+axial_dz = 14.28
+[tracks]
+num_azim = 4
+radial_spacing = 1.0
+num_polar = 2
+axial_spacing = 8.0
+[solver]
+tolerance = 1e-4
+max_iterations = 700
+mode = otf
+backend = cpu
+"#,
+    )
+    .unwrap();
+
+    println!("C5G7 3D extension: control-rod insertion study (coarse mesh)\n");
+    println!("{:<12} {:>10} {:>12} {:>14}", "config", "k_eff", "iterations", "worth (pcm)");
+
+    let mut k_unrodded = None;
+    for (label, config) in [
+        ("unrodded", RoddedConfig::Unrodded),
+        ("rodded-A", RoddedConfig::RoddedA),
+        ("rodded-B", RoddedConfig::RoddedB),
+    ] {
+        let mut cfg = base.clone();
+        cfg.model.config = config;
+        let report = run(&cfg);
+        assert!(report.converged, "{label} did not converge");
+        let worth = match k_unrodded {
+            None => {
+                k_unrodded = Some(report.keff);
+                0.0
+            }
+            Some(k0) => (1.0 / report.keff - 1.0 / k0) * 1e5,
+        };
+        println!(
+            "{label:<12} {:>10.5} {:>12} {:>14.0}",
+            report.keff, report.iterations, worth
+        );
+    }
+    println!("\nRods absorb thermal neutrons in the inserted banks: k falls");
+    println!("monotonically with insertion depth (positive worth in pcm).");
+}

@@ -1,0 +1,93 @@
+//! Track-management strategy demo (the paper's §4.1 / Fig. 9 in
+//! miniature): run the same transport iterations under EXP, OTF, and
+//! Manager storage on a memory-limited simulated GPU and print the
+//! time/memory trade-off.
+//!
+//! ```text
+//! cargo run --release --example track_manager_sweep
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use antmoc::geom::c5g7::{C5g7, C5g7Options};
+use antmoc::gpusim::{Device, DeviceSpec};
+use antmoc::solver::device::{CuMapping, DeviceSolver};
+use antmoc::solver::{EigenOptions, Problem, StorageMode, Sweeper, FluxBanks};
+use antmoc::track::TrackParams;
+
+fn main() {
+    let model = C5g7::build(C5g7Options { axial_dz: 21.42, ..Default::default() });
+    let params = TrackParams {
+        num_azim: 4,
+        radial_spacing: 0.8,
+        num_polar: 2,
+        axial_spacing: 2.0,
+        ..Default::default()
+    };
+    println!("Building the problem (C5G7, coarse demo resolution)...");
+    let problem = Problem::build(
+        model.geometry.clone(),
+        model.axial.clone(),
+        &model.library,
+        params,
+    );
+    println!(
+        "  3D tracks: {}   3D segments: {}",
+        problem.num_tracks(),
+        problem.num_3d_segments()
+    );
+
+    // Size the device so EXP *barely* fits, then squeeze the manager.
+    let probe = Arc::new(Device::new(DeviceSpec::scaled(8 << 30)));
+    let _p = DeviceSolver::new(probe.clone(), &problem, StorageMode::Explicit, CuMapping::SegmentSorted)
+        .expect("probe fits");
+    let full_bytes = probe.memory().used();
+    drop(_p);
+    let seg_bytes = full_bytes
+        - DeviceSolver::new(probe.clone(), &problem, StorageMode::Otf, CuMapping::SegmentSorted)
+            .map(|s| {
+                let b = probe.memory().used();
+                drop(s);
+                b
+            })
+            .unwrap();
+
+    let _opts = EigenOptions { tolerance: 1e-4, max_iterations: 10, ..Default::default() };
+    let iters = 10;
+    println!("\n{:<34} {:>12} {:>14} {:>10}", "mode", "mem bytes", "time/10 iter", "resident");
+    for (label, mode) in [
+        ("EXP (all segments stored)", StorageMode::Explicit),
+        ("OTF (regenerate every sweep)", StorageMode::Otf),
+        ("Manager (budget = 1/2 segments)", StorageMode::Manager { budget_bytes: seg_bytes / 2 }),
+        ("Manager (budget = 1/8 segments)", StorageMode::Manager { budget_bytes: seg_bytes / 8 }),
+    ] {
+        let device = Arc::new(Device::new(DeviceSpec::scaled(8 << 30)));
+        let mut solver = DeviceSolver::new(device.clone(), &problem, mode, CuMapping::SegmentSorted)
+            .expect("solver setup");
+        let resident = solver
+            .plan
+            .as_ref()
+            .map(|p| p.resident.len())
+            .unwrap_or(if matches!(mode, StorageMode::Explicit) { problem.num_tracks() } else { 0 });
+
+        // Fixed-iteration timing like the paper's §5.3 (10 transport
+        // iterations averaged).
+        let q = vec![0.1f64; problem.num_fsrs() * problem.num_groups()];
+        let banks = FluxBanks::new(problem.num_tracks(), problem.num_groups());
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let _ = solver.sweep(&problem, &q, &banks);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{label:<34} {:>12} {:>12.2}s {:>7}/{}",
+            device.memory().used(),
+            dt,
+            resident,
+            problem.num_tracks()
+        );
+    }
+    println!("\nEXP is fastest but needs the full segment store; OTF is lean but");
+    println!("re-traces everything; the manager interpolates (Fig. 9's shape).");
+}
