@@ -156,8 +156,8 @@ fn refine(part: &mut Partition, graph: &Graph, adj: &[Vec<(u32, f64)>], max_move
                 l[to] += w;
                 let new_max = l.iter().cloned().fold(0.0, f64::max);
                 let cut_delta = cut_to[from] - cut_to[to];
-                let better = new_max < cur_max - 1e-12
-                    || (new_max < cur_max + 1e-12 && cut_delta < -1e-12);
+                let better =
+                    new_max < cur_max - 1e-12 || (new_max < cur_max + 1e-12 && cut_delta < -1e-12);
                 if better {
                     match best {
                         Some((_, bm, bc)) if (new_max, cut_delta) >= (bm, bc) => {}
@@ -237,10 +237,8 @@ mod tests {
         let g = grid_graph(8, 8, |x, _| (x + 1) as f64);
         let k = 4;
         // Round-robin baseline (the "no balance" strategy).
-        let rr = Partition {
-            assignment: (0..g.len()).map(|i| (i % k) as u32).collect(),
-            num_parts: k,
-        };
+        let rr =
+            Partition { assignment: (0..g.len()).map(|i| (i % k) as u32).collect(), num_parts: k };
         let smart = partition_kway(&g, k);
         let uni = |p: &Partition| {
             let l = p.part_loads(&g);

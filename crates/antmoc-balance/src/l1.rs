@@ -106,10 +106,7 @@ mod tests {
         let base = block_baseline(64, nodes, &loads);
         let u1 = load_uniformity(&l1.node_loads);
         let u0 = load_uniformity(&base.node_loads);
-        assert!(
-            u1 <= u0 + 1e-12,
-            "L1 uniformity {u1} vs baseline {u0}"
-        );
+        assert!(u1 <= u0 + 1e-12, "L1 uniformity {u1} vs baseline {u0}");
         assert!(u1 < 1.15, "L1 should be near-balanced, got {u1}");
     }
 

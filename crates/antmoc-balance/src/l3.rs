@@ -32,10 +32,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn bin_loads(assign: &[Vec<u32>], weights: &[u64]) -> Vec<f64> {
-        assign
-            .iter()
-            .map(|b| b.iter().map(|&i| weights[i as usize] as f64).sum())
-            .collect()
+        assign.iter().map(|b| b.iter().map(|&i| weights[i as usize] as f64).sum()).collect()
     }
 
     #[test]

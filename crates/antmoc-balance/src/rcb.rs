@@ -8,26 +8,14 @@
 /// `parts` groups by recursive coordinate bisection over the cell
 /// weights. `parts` may be any positive count (uneven splits divide
 /// proportionally).
-pub fn rcb_partition(
-    dims: (usize, usize, usize),
-    weights: &[f64],
-    parts: usize,
-) -> Vec<u32> {
+pub fn rcb_partition(dims: (usize, usize, usize), weights: &[f64], parts: usize) -> Vec<u32> {
     let (nx, ny, nz) = dims;
     assert_eq!(weights.len(), nx * ny * nz);
     assert!(parts >= 1);
     let mut assignment = vec![0u32; weights.len()];
-    let cells: Vec<(usize, usize, usize)> = (0..nz)
-        .flat_map(|z| (0..ny).flat_map(move |y| (0..nx).map(move |x| (x, y, z))))
-        .collect();
-    split(
-        &cells,
-        weights,
-        (nx, ny, nz),
-        0,
-        parts,
-        &mut assignment,
-    );
+    let cells: Vec<(usize, usize, usize)> =
+        (0..nz).flat_map(|z| (0..ny).flat_map(move |y| (0..nx).map(move |x| (x, y, z)))).collect();
+    split(&cells, weights, (nx, ny, nz), 0, parts, &mut assignment);
     assignment
 }
 
@@ -54,12 +42,7 @@ fn split(
         hi - lo
     };
     let spans = [bound(|c| c.0), bound(|c| c.1), bound(|c| c.2)];
-    let axis = spans
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, s)| **s)
-        .map(|(i, _)| i)
-        .unwrap();
+    let axis = spans.iter().enumerate().max_by_key(|(_, s)| **s).map(|(i, _)| i).unwrap();
     let key = |c: &(usize, usize, usize)| match axis {
         0 => c.0,
         1 => c.1,
@@ -91,10 +74,8 @@ fn split(
     if cut >= sorted.len() {
         cut = sorted.len() - 1;
     }
-    let (left, right): (Vec<_>, Vec<_>) = (
-        sorted[..cut].iter().map(|c| **c).collect(),
-        sorted[cut..].iter().map(|c| **c).collect(),
-    );
+    let (left, right): (Vec<_>, Vec<_>) =
+        (sorted[..cut].iter().map(|c| **c).collect(), sorted[cut..].iter().map(|c| **c).collect());
     split(&left, weights, dims, first_part, left_parts, assignment);
     split(&right, weights, dims, first_part + left_parts, right_parts, assignment);
 }
@@ -152,10 +133,8 @@ mod tests {
         let w = vec![1.0; 16];
         let a = rcb_partition(dims, &w, 4);
         for p in 0..4u32 {
-            let cells: Vec<(usize, usize)> = (0..16)
-                .filter(|&i| a[i] == p)
-                .map(|i| (i % 4, i / 4))
-                .collect();
+            let cells: Vec<(usize, usize)> =
+                (0..16).filter(|&i| a[i] == p).map(|i| (i % 4, i / 4)).collect();
             let (x0, x1) = (
                 cells.iter().map(|c| c.0).min().unwrap(),
                 cells.iter().map(|c| c.0).max().unwrap(),

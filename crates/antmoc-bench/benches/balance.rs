@@ -11,9 +11,7 @@ fn balance_benches(c: &mut Criterion) {
     // the paper's recommended granularity for large runs.
     let (nx, ny, nz) = (10usize, 10usize, 6usize);
     let mut graph = Graph::with_nodes(
-        (0..nx * ny * nz)
-            .map(|i| 1.0 + ((i * 2654435761) % 97) as f64 / 10.0)
-            .collect(),
+        (0..nx * ny * nz).map(|i| 1.0 + ((i * 2654435761) % 97) as f64 / 10.0).collect(),
     );
     let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
     for z in 0..nz {
@@ -34,9 +32,7 @@ fn balance_benches(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("balance");
     group.sample_size(20);
-    group.bench_function("partition_600_nodes_64_way", |b| {
-        b.iter(|| partition_kway(&graph, 64))
-    });
+    group.bench_function("partition_600_nodes_64_way", |b| b.iter(|| partition_kway(&graph, 64)));
 
     let weights: Vec<u64> = (0..200_000u64).map(|i| 1 + (i * i) % 211).collect();
     group.bench_function("l3_deal_200k_tracks_64_cus", |b| {

@@ -79,12 +79,8 @@ fn otf_kernel(c: &mut Criterion) {
     let problem = bench_problem();
     let l = &problem.layout;
     // Longest track by segment count.
-    let (idx, _) = problem
-        .sweep_tracks
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, t)| t.num_segments)
-        .unwrap();
+    let (idx, _) =
+        problem.sweep_tracks.iter().enumerate().max_by_key(|(_, t)| t.num_segments).unwrap();
     let id = Track3dId(idx as u32);
     let info = l.tracks3d.info(id, &l.tracks2d, &l.chains);
     let base = l.segments2d.of(info.track2d);
@@ -106,9 +102,8 @@ fn exp_eval(c: &mut Criterion) {
     let taus: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.003) % 12.0).collect();
     let table = ExpTable::with_tolerance(12.0, 1e-7);
     let mut group = c.benchmark_group("exp_eval");
-    group.bench_function("exp_m1", |b| {
-        b.iter(|| taus.iter().map(|&t| -(-t).exp_m1()).sum::<f64>())
-    });
+    group
+        .bench_function("exp_m1", |b| b.iter(|| taus.iter().map(|&t| -(-t).exp_m1()).sum::<f64>()));
     group.bench_function("table_1e-7", |b| {
         b.iter(|| taus.iter().map(|&t| table.eval(t)).sum::<f64>())
     });

@@ -17,9 +17,7 @@ fn tracking_stages(c: &mut Criterion) {
     });
 
     let t2 = antmoc::track::track2d::generate(&m.geometry, 8, 0.4);
-    group.bench_function("segment_2d", |b| {
-        b.iter(|| SegmentStore2d::trace(&m.geometry, &t2))
-    });
+    group.bench_function("segment_2d", |b| b.iter(|| SegmentStore2d::trace(&m.geometry, &t2)));
 
     group.bench_function("chains", |b| b.iter(|| ChainSet::build(&t2)));
 

@@ -195,9 +195,8 @@ fn main() {
             }
             load_uniformity(&loads)
         };
-        let block = load_uniformity(
-            &l1::block_baseline(setup.loads.len(), nodes, &setup.loads).node_loads,
-        );
+        let block =
+            load_uniformity(&l1::block_baseline(setup.loads.len(), nodes, &setup.loads).node_loads);
         let full = load_uniformity(
             &l1::map_subdomains_to_nodes(setup.dims, &setup.loads, (1.0, 1.0, 1.0), nodes)
                 .node_loads,
@@ -217,4 +216,6 @@ fn main() {
         println!("| sorted round-robin (greedy, no refinement) | {greedy_only:.3} |");
         println!("| graph partition + refinement (ours) | {full:.3} |");
     }
+
+    antmoc_bench::write_telemetry_artifact("fig10_load_balance");
 }

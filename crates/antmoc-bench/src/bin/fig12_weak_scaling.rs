@@ -150,4 +150,6 @@ fn main() {
     println!("\npaper anchors: 89.38 % weak efficiency at 16000 GPUs with all");
     println!("optimisations; decay driven by decomposition-grid growth and");
     println!("imbalance, both mitigated by the load-mapping strategies.");
+
+    antmoc_bench::write_telemetry_artifact("fig12_weak_scaling");
 }

@@ -10,10 +10,8 @@
 //! ```
 
 use antmoc::perfmodel::SegmentModel;
-use antmoc::track::{
-    count_segments_per_track, ChainSet, SegmentStore2d, TrackSet3d,
-};
 use antmoc::quadrature::{PolarQuadrature, PolarType};
+use antmoc::track::{count_segments_per_track, ChainSet, SegmentStore2d, TrackSet3d};
 use antmoc_bench::{model, track_scales};
 
 fn main() {
@@ -32,7 +30,8 @@ fn main() {
     println!("|---|---|---|---|---|---|---|---|---|");
 
     for (label, params) in &scales {
-        let t2 = antmoc::track::track2d::generate(&m.geometry, params.num_azim, params.radial_spacing);
+        let t2 =
+            antmoc::track::track2d::generate(&m.geometry, params.num_azim, params.radial_spacing);
         let segs2 = SegmentStore2d::trace(&m.geometry, &t2);
         let chains = ChainSet::build(&t2);
         let polar = PolarQuadrature::new(PolarType::GaussLegendre, params.num_polar);
@@ -70,4 +69,6 @@ fn main() {
         );
     }
     println!("\npaper: relative error fluctuates within 1.1 % (its Fig. 8).");
+
+    antmoc_bench::write_telemetry_artifact("fig8_segment_model");
 }

@@ -18,10 +18,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use antmoc::gpusim::{Device, DeviceSpec};
+use antmoc::perfmodel::{advise, Advice, MemoryModel};
 use antmoc::solver::device::{CuMapping, DeviceSolver};
 use antmoc::solver::manager::{select_resident, RankPolicy};
 use antmoc::solver::{EigenOptions, FluxBanks, SegmentSource, StorageMode, Sweeper};
-use antmoc::perfmodel::{advise, Advice, MemoryModel};
 use antmoc_bench::{human_bytes, problem_for, track_scales};
 
 const ITERS: usize = 10;
@@ -45,7 +45,11 @@ fn main() {
     let capacity: u64 = 24 << 20;
     let threshold: u64 = 6 << 20;
 
-    println!("# Fig. 9: EXP vs OTF vs Manager (device {} capacity, manager threshold {})\n", human_bytes(capacity), human_bytes(threshold));
+    println!(
+        "# Fig. 9: EXP vs OTF vs Manager (device {} capacity, manager threshold {})\n",
+        human_bytes(capacity),
+        human_bytes(threshold)
+    );
     println!("| scale | 3D segments | advisor says | M_EXP | T_EXP s | M_OTF | T_OTF s | M_Mgr | T_Mgr s | resident % | Mgr vs OTF |");
     println!("|---|---|---|---|---|---|---|---|---|---|---|");
 
@@ -75,8 +79,12 @@ fn main() {
 
         // EXP.
         let dev = Arc::new(Device::new(DeviceSpec::scaled(capacity)));
-        match DeviceSolver::new(dev.clone(), &problem, StorageMode::Explicit, CuMapping::SegmentSorted)
-        {
+        match DeviceSolver::new(
+            dev.clone(),
+            &problem,
+            StorageMode::Explicit,
+            CuMapping::SegmentSorted,
+        ) {
             Ok(mut s) => {
                 let mem = dev.memory().used();
                 let t = time_iterations(&mut s, &problem);
@@ -151,12 +159,10 @@ fn main() {
                 let _ = antmoc::solver::sweep::transport_sweep(&problem, &segsrc, &q, &banks);
             }
             let t = t0.elapsed().as_secs_f64() / ITERS as f64;
-            println!(
-                "| {name} | {} | {} | {t:.3} |",
-                plan.resident.len(),
-                plan.resident_segments
-            );
+            println!("| {name} | {} | {} | {t:.3} |", plan.resident.len(), plan.resident_segments);
         }
         println!("\nby-segments maximises stored segments per byte, minimising regeneration.");
     }
+
+    antmoc_bench::write_telemetry_artifact("fig9_track_strategies");
 }

@@ -1,0 +1,144 @@
+//! CI perf-smoke tripwire: run a tiny C5G7 lattice end-to-end, read the
+//! sweep throughput out of the telemetry artifact, and fail when it
+//! regresses more than 2x against the checked-in `ci/bench_baseline.json`.
+//!
+//! ```text
+//! cargo run --release --bin perf_smoke                  # gate against baseline
+//! cargo run --release --bin perf_smoke -- --write-baseline
+//! ```
+//!
+//! The 2x margin is deliberately loose: CI machines vary widely, and the
+//! gate exists to catch order-of-magnitude mistakes (accidentally
+//! quadratic segment lookup, a debug-mode sweep, a broken rayon chunking),
+//! not single-digit-percent drift.
+
+use std::process::ExitCode;
+
+use antmoc::telemetry::{Json, RunReport, Telemetry};
+use antmoc::{run, run_artifact, RunConfig};
+
+const BASELINE_PATH: &str = "ci/bench_baseline.json";
+const REPORT_PATH: &str = "results/perf_smoke_report.json";
+/// Fail when throughput drops below `baseline * MIN_RATIO`.
+const MIN_RATIO: f64 = 0.5;
+
+fn tiny_config() -> RunConfig {
+    RunConfig::parse(
+        r#"
+[model]
+case = c5g7
+rodded = unrodded
+axial_dz = 21.42
+
+[tracks]
+num_azim = 4
+radial_spacing = 1.2
+num_polar = 2
+axial_spacing = 20.0
+
+[solver]
+tolerance = 2e-4
+max_iterations = 400
+mode = otf
+backend = cpu
+"#,
+    )
+    .expect("perf-smoke config parses")
+}
+
+/// Sweep throughput measured from the artifact: segments processed per
+/// second spent inside `transport_sweep` spans (summed over every nesting
+/// path the sweep appears under).
+fn sweep_throughput(report: &RunReport) -> Option<f64> {
+    let segments = report.counter("sweep.segments");
+    let seconds: f64 = report
+        .spans
+        .iter()
+        .filter(|(path, _)| path.rsplit('/').next() == Some("transport_sweep"))
+        .map(|(_, s)| s.total_s)
+        .sum();
+    if segments == 0 || seconds <= 0.0 {
+        return None;
+    }
+    Some(segments as f64 / seconds)
+}
+
+fn main() -> ExitCode {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+
+    println!("perf-smoke: solving the tiny C5G7 lattice...");
+    Telemetry::global().reset();
+    let outcome = run(&tiny_config());
+    if !outcome.converged {
+        eprintln!("perf-smoke: solve did not converge ({} iters)", outcome.iterations);
+        return ExitCode::FAILURE;
+    }
+    let report = run_artifact(&outcome);
+    report.write_json(REPORT_PATH).expect("write perf-smoke report");
+
+    let Some(throughput) = sweep_throughput(&report) else {
+        eprintln!("perf-smoke: artifact has no sweep telemetry (segments or spans missing)");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "perf-smoke: {:.3e} segments/s over {} sweeps ({} segments total); report: {REPORT_PATH}",
+        throughput,
+        report
+            .spans
+            .iter()
+            .filter(|(p, _)| p.rsplit('/').next() == Some("transport_sweep"))
+            .map(|(_, s)| s.count)
+            .sum::<u64>(),
+        report.counter("sweep.segments"),
+    );
+
+    if write_baseline {
+        let baseline = Json::Obj(vec![
+            ("case".into(), Json::Str("c5g7-tiny-otf-cpu".into())),
+            ("segments_per_second".into(), Json::Num(throughput)),
+            ("min_ratio".into(), Json::Num(MIN_RATIO)),
+        ]);
+        std::fs::create_dir_all("ci").expect("create ci dir");
+        std::fs::write(BASELINE_PATH, baseline.to_pretty_string()).expect("write baseline");
+        println!("perf-smoke: wrote {BASELINE_PATH}");
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf-smoke: cannot read {BASELINE_PATH}: {e}");
+            eprintln!("perf-smoke: run with --write-baseline to create it");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match antmoc::telemetry::json::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf-smoke: {BASELINE_PATH} is not valid JSON: {e}");
+            eprintln!("perf-smoke: run with --write-baseline to regenerate it");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(reference) = baseline.get("segments_per_second").and_then(Json::as_f64) else {
+        eprintln!("perf-smoke: {BASELINE_PATH} has no `segments_per_second` number");
+        eprintln!("perf-smoke: run with --write-baseline to regenerate it");
+        return ExitCode::FAILURE;
+    };
+    let min_ratio = baseline.get("min_ratio").and_then(Json::as_f64).unwrap_or(MIN_RATIO);
+
+    let ratio = throughput / reference;
+    println!(
+        "perf-smoke: baseline {reference:.3e} segments/s, ratio {ratio:.2} (floor {min_ratio:.2})"
+    );
+    if ratio < min_ratio {
+        eprintln!(
+            "perf-smoke: FAIL — sweep throughput regressed more than {:.1}x \
+             ({throughput:.3e} vs baseline {reference:.3e} segments/s)",
+            1.0 / min_ratio
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf-smoke: PASS");
+    ExitCode::SUCCESS
+}

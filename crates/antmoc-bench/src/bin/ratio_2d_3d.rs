@@ -73,4 +73,6 @@ fn main() {
     println!("\nThe ratio scales ~ (axial track density) x (axial mesh density);");
     println!("at the paper's Table 4 resolution (axial spacing 0.1 cm) the trend");
     println!("reaches the quoted three-orders-of-magnitude gap.");
+
+    antmoc_bench::write_telemetry_artifact("ratio_2d_3d");
 }

@@ -10,11 +10,11 @@
 
 use std::sync::Arc;
 
+use antmoc::geom::c5g7::{C5g7, C5g7Options};
 use antmoc::gpusim::{Device, DeviceSpec};
 use antmoc::perfmodel::MemoryModel;
 use antmoc::solver::device::{CuMapping, DeviceSolver};
 use antmoc::solver::{Problem, StorageMode};
-use antmoc::geom::c5g7::{C5g7, C5g7Options};
 use antmoc::track::TrackParams;
 use antmoc_bench::human_bytes;
 
@@ -89,4 +89,6 @@ fn main() {
     );
     println!("\nShape check: 3D segments dominate and grow with track density, while");
     println!("the paper's exact shares depend on its far larger track counts.");
+
+    antmoc_bench::write_telemetry_artifact("table3_memory_breakdown");
 }

@@ -57,9 +57,14 @@ nz = 2
     reference_cfg.mode = StorageMode::Explicit;
 
     println!("# §5.1 correctness validation (C5G7 3D extension)\n");
-    println!("Experimental parameters (Table 4, {} mesh):", if fine { "near-paper" } else { "scaled" });
+    println!(
+        "Experimental parameters (Table 4, {} mesh):",
+        if fine { "near-paper" } else { "scaled" }
+    );
     println!("  geometry 64.26^3 cm^3, 3x3 assemblies");
-    println!("  azimuthal angles 4, polar angles {np}, radial spacing {radial}, axial spacing {axial}\n");
+    println!(
+        "  azimuthal angles 4, polar angles {np}, radial spacing {radial}, axial spacing {axial}\n"
+    );
 
     // ---- primary comparison: same discretisation, different engines ----
     // This is the paper's §5.1 claim: ANT-MOC vs OpenMOC on the same
@@ -142,12 +147,8 @@ nz = 2
     // problem.
     println!("\n## single-device vs serial-CPU sweep time (the paper's 428x datum analogue)");
     let m = antmoc_bench::model();
-    let problem = Problem::build(
-        m.geometry.clone(),
-        m.axial.clone(),
-        &m.library,
-        antmoc_cfg.tracks.clone(),
-    );
+    let problem =
+        Problem::build(m.geometry.clone(), m.axial.clone(), &m.library, antmoc_cfg.tracks.clone());
     let opts = EigenOptions { tolerance: 1e-30, max_iterations: 5, ..Default::default() };
     let device = Arc::new(Device::new(DeviceSpec::scaled(4 << 30)));
     let mut dev_solver =
@@ -168,11 +169,15 @@ nz = 2
     println!("  device (parallel, EXP): {t_dev:.2} s for 5 iterations");
     println!("  serial CPU (OTF)      : {t_cpu:.2} s for 5 iterations");
     println!("  speedup               : {:.1}x", t_cpu / t_dev);
-    println!("  (absolute ratios depend on host cores; the paper's 428x is real-GPU vs 8 CPU cores)");
+    println!(
+        "  (absolute ratios depend on host cores; the paper's 428x is real-GPU vs 8 CPU cores)"
+    );
 
     let csv = File::create("fission_rates.csv").unwrap();
     antmoc_run.pin_rates.write_csv(BufWriter::new(csv)).unwrap();
     let vtk = File::create("fission_rates.vtk").unwrap();
     antmoc_run.pin_rates.write_vtk(BufWriter::new(vtk)).unwrap();
     println!("\nFig. 7 outputs written: fission_rates.csv, fission_rates.vtk");
+
+    antmoc_bench::write_telemetry_artifact("validate_correctness");
 }

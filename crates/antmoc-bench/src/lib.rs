@@ -61,6 +61,18 @@ pub fn human_bytes(b: u64) -> String {
     format!("{v:.2} {}", UNITS[u])
 }
 
+/// Writes the global telemetry snapshot to
+/// `results/<name>_telemetry.json`, so every experiment binary leaves a
+/// machine-readable artifact next to its printed table.
+pub fn write_telemetry_artifact(name: &str) {
+    let report = antmoc_telemetry::Telemetry::global().report();
+    let path = format!("results/{name}_telemetry.json");
+    match report.write_json(&path) {
+        Ok(()) => println!("\n[telemetry] wrote {path}"),
+        Err(e) => eprintln!("\n[telemetry] failed to write {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -81,14 +81,9 @@ impl Comm {
             return self.unpack(msg);
         }
         loop {
-            let msg = self.receivers[from]
-                .recv_timeout(RECV_TIMEOUT)
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "rank {}: timed out waiting for tag {tag} from rank {from}",
-                        self.rank
-                    )
-                });
+            let msg = self.receivers[from].recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
+                panic!("rank {}: timed out waiting for tag {tag} from rank {from}", self.rank)
+            });
             if msg.tag == tag {
                 return self.unpack(msg);
             }
@@ -99,10 +94,7 @@ impl Comm {
     fn unpack<T: 'static>(&self, msg: Message) -> T {
         self.counters[self.rank].record_recv(msg.bytes);
         *msg.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "rank {}: message tag {} carried an unexpected payload type",
-                self.rank, msg.tag
-            )
+            panic!("rank {}: message tag {} carried an unexpected payload type", self.rank, msg.tag)
         })
     }
 
@@ -125,6 +117,7 @@ impl Comm {
     /// reduce, broadcast). `op` must be associative and commutative.
     pub fn allreduce_f64(&mut self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
         const TAG: u32 = u32::MAX - 1;
+        antmoc_telemetry::Telemetry::global().counter_add("comm.allreduce_calls", 1);
         if self.rank == 0 {
             let mut acc = value;
             for from in 1..self.size {
@@ -154,6 +147,7 @@ impl Comm {
     /// Gathers one value per rank to every rank (all-gather).
     pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
         const TAG: u32 = u32::MAX - 2;
+        antmoc_telemetry::Telemetry::global().counter_add("comm.allgather_calls", 1);
         if self.rank == 0 {
             let mut all = vec![value];
             for from in 1..self.size {
@@ -172,6 +166,7 @@ impl Comm {
     /// Broadcast from rank 0.
     pub fn broadcast<T: Clone + Send + 'static>(&mut self, value: Option<T>) -> T {
         const TAG: u32 = u32::MAX - 3;
+        antmoc_telemetry::Telemetry::global().counter_add("comm.broadcast_calls", 1);
         if self.rank == 0 {
             let v = value.expect("rank 0 must provide the broadcast value");
             for to in 1..self.size {
@@ -259,7 +254,16 @@ impl Cluster {
             .into_iter()
             .map(|r| r.expect("rank produced no result"))
             .collect();
-        let traffic = counters.iter().map(|c| c.snapshot()).collect();
+        let traffic: Vec<Traffic> = counters.iter().map(|c| c.snapshot()).collect();
+        // Fold per-rank traffic into the run telemetry so comm volume shows
+        // up in the same artifact as sweep timings.
+        let tel = antmoc_telemetry::Telemetry::global();
+        for t in &traffic {
+            tel.counter_add("comm.sent_bytes", t.sent_bytes);
+            tel.counter_add("comm.sent_messages", t.sent_messages);
+            tel.counter_add("comm.recv_bytes", t.received_bytes);
+            tel.counter_add("comm.recv_messages", t.received_messages);
+        }
         ClusterOutcome { results, traffic }
     }
 }

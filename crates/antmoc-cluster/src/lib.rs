@@ -26,7 +26,7 @@
 pub mod comm;
 pub mod traffic;
 
-pub use comm::{Comm, Cluster, ClusterOutcome};
+pub use comm::{Cluster, ClusterOutcome, Comm};
 pub use traffic::Traffic;
 
 #[cfg(test)]

@@ -139,11 +139,9 @@ impl AxialModel {
         match &self.zones[self.cell_zone[k]].kind {
             ZoneKind::AsIs => radial,
             ZoneKind::AllTo(m) => *m,
-            ZoneKind::Map(map) => map
-                .iter()
-                .find(|(from, _)| *from == radial)
-                .map(|(_, to)| *to)
-                .unwrap_or(radial),
+            ZoneKind::Map(map) => {
+                map.iter().find(|(from, _)| *from == radial).map(|(_, to)| *to).unwrap_or(radial)
+            }
         }
     }
 }

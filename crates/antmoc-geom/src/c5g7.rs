@@ -38,13 +38,30 @@ pub const CORE_HEIGHT: f64 = FUEL_HEIGHT + AXIAL_REFLECTOR;
 
 /// The guide-tube positions of the 17x17 skeleton, `(row, col)`.
 pub const GUIDE_TUBES: [(usize, usize); 24] = [
-    (2, 5), (2, 8), (2, 11),
-    (3, 3), (3, 13),
-    (5, 2), (5, 5), (5, 8), (5, 11), (5, 14),
-    (8, 2), (8, 5), (8, 11), (8, 14),
-    (11, 2), (11, 5), (11, 8), (11, 11), (11, 14),
-    (13, 3), (13, 13),
-    (14, 5), (14, 8), (14, 11),
+    (2, 5),
+    (2, 8),
+    (2, 11),
+    (3, 3),
+    (3, 13),
+    (5, 2),
+    (5, 5),
+    (5, 8),
+    (5, 11),
+    (5, 14),
+    (8, 2),
+    (8, 5),
+    (8, 11),
+    (8, 14),
+    (11, 2),
+    (11, 5),
+    (11, 8),
+    (11, 11),
+    (11, 14),
+    (13, 3),
+    (13, 13),
+    (14, 5),
+    (14, 8),
+    (14, 11),
 ];
 
 /// Fission chamber position.
@@ -207,16 +224,11 @@ impl C5g7 {
         let tube_pin_mox = pins.fuel_pin(&mut b, m.tube_mox, m.water);
 
         // Assemblies.
-        let inner_uo2 = build_uo2_assembly(&mut b, uo2_pin, tube_pin_inner, chamber_pin, "inner-UO2");
+        let inner_uo2 =
+            build_uo2_assembly(&mut b, uo2_pin, tube_pin_inner, chamber_pin, "inner-UO2");
         let outer_uo2 = build_uo2_assembly(&mut b, uo2_pin, tube_pin, chamber_pin, "outer-UO2");
-        let mox = build_mox_assembly(
-            &mut b,
-            mox43_pin,
-            mox70_pin,
-            mox87_pin,
-            tube_pin_mox,
-            chamber_pin,
-        );
+        let mox =
+            build_mox_assembly(&mut b, mox43_pin, mox70_pin, mox87_pin, tube_pin_mox, chamber_pin);
         let reflector = build_reflector_assembly(&mut b, m.water, opts.reflector_refine);
 
         // Core lattice: (0,0) is the reflective corner.
@@ -314,21 +326,13 @@ fn build_axial(opts: &C5g7Options, m: &MatIds) -> AxialModel {
             let (_, z1) = bank(1);
             zones.push(Zone { z_lo: z0, z_hi: z1, kind: ZoneKind::AsIs });
             let (z2, z3) = bank(2);
-            zones.push(Zone {
-                z_lo: z2,
-                z_hi: z3,
-                kind: rod_map(&[(m.tube_inner_uo2, m.rod)]),
-            });
+            zones.push(Zone { z_lo: z2, z_hi: z3, kind: rod_map(&[(m.tube_inner_uo2, m.rod)]) });
         }
         RoddedConfig::RoddedB => {
             let (z0, z1) = bank(0);
             zones.push(Zone { z_lo: z0, z_hi: z1, kind: ZoneKind::AsIs });
             let (z2, z3) = bank(1);
-            zones.push(Zone {
-                z_lo: z2,
-                z_hi: z3,
-                kind: rod_map(&[(m.tube_inner_uo2, m.rod)]),
-            });
+            zones.push(Zone { z_lo: z2, z_hi: z3, kind: rod_map(&[(m.tube_inner_uo2, m.rod)]) });
             let (z4, z5) = bank(2);
             zones.push(Zone {
                 z_lo: z4,
@@ -337,11 +341,7 @@ fn build_axial(opts: &C5g7Options, m: &MatIds) -> AxialModel {
             });
         }
     }
-    zones.push(Zone {
-        z_lo: FUEL_HEIGHT,
-        z_hi: CORE_HEIGHT,
-        kind: ZoneKind::AllTo(m.water),
-    });
+    zones.push(Zone { z_lo: FUEL_HEIGHT, z_hi: CORE_HEIGHT, kind: ZoneKind::AllTo(m.water) });
     AxialModel::new(zones, opts.axial_dz)
 }
 
@@ -355,7 +355,9 @@ impl PinFactory {
     fn new(opts: &C5g7Options) -> Self {
         assert!(opts.fuel_rings >= 1, "fuel_rings must be >= 1");
         assert!(
-            opts.sectors == 1 || opts.sectors == 2 || (opts.sectors >= 4 && opts.sectors.is_multiple_of(2)),
+            opts.sectors == 1
+                || opts.sectors == 2
+                || (opts.sectors >= 4 && opts.sectors.is_multiple_of(2)),
             "sectors must be 1, 2, or an even count >= 4"
         );
         Self { rings: opts.fuel_rings, sectors: opts.sectors }

@@ -147,7 +147,7 @@ mod tests {
         assert_eq!(l.find_cell(-1.4, -1.9), (0, 0));
         assert_eq!(l.find_cell(1.4, 1.9), (2, 1));
         assert_eq!(l.find_cell(0.0, 0.0), (1, 1)); // on wall: upper cell
-        // Clamped outside.
+                                                   // Clamped outside.
         assert_eq!(l.find_cell(-99.0, 99.0), (0, 1));
     }
 

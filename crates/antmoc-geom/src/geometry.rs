@@ -281,10 +281,7 @@ impl Geometry {
 
     /// Radial widths `(width_x, width_y)`.
     pub fn widths(&self) -> (f64, f64) {
-        (
-            self.bounds_box.1 - self.bounds_box.0,
-            self.bounds_box.3 - self.bounds_box.2,
-        )
+        (self.bounds_box.1 - self.bounds_box.0, self.bounds_box.3 - self.bounds_box.2)
     }
 
     /// A window view of this geometry: the same CSG model and FSR
@@ -302,7 +299,10 @@ impl Geometry {
         let (x0, x1, y0, y1) = bounds;
         let full = self.bounds_box;
         assert!(
-            x0 >= full.0 - 1e-9 && x1 <= full.1 + 1e-9 && y0 >= full.2 - 1e-9 && y1 <= full.3 + 1e-9,
+            x0 >= full.0 - 1e-9
+                && x1 <= full.1 + 1e-9
+                && y0 >= full.2 - 1e-9
+                && y1 <= full.3 + 1e-9,
             "window {bounds:?} outside model {full:?}"
         );
         assert!(x1 > x0 && y1 > y0 && z_range.1 > z_range.0);
@@ -321,7 +321,10 @@ impl Geometry {
     /// Whether a global point is inside the radial box.
     pub fn contains(&self, x: f64, y: f64) -> bool {
         let (x0, x1, y0, y1) = self.bounds();
-        x >= x0 - SURFACE_EPS && x <= x1 + SURFACE_EPS && y >= y0 - SURFACE_EPS && y <= y1 + SURFACE_EPS
+        x >= x0 - SURFACE_EPS
+            && x <= x1 + SURFACE_EPS
+            && y >= y0 - SURFACE_EPS
+            && y <= y1 + SURFACE_EPS
     }
 
     /// Locates the FSR containing a global point. Returns `None` when the
@@ -363,9 +366,9 @@ impl Geometry {
 
     fn match_cell(&self, uni: &Universe, lx: f64, ly: f64) -> Option<usize> {
         uni.cells.iter().position(|cell| {
-            cell.region.iter().all(|&(sid, sense)| {
-                self.surfaces[sid.0 as usize].sense_of(lx, ly) == sense
-            })
+            cell.region
+                .iter()
+                .all(|&(sid, sense)| self.surfaces[sid.0 as usize].sense_of(lx, ly) == sense)
         })
     }
 
@@ -614,11 +617,8 @@ mod tests {
         assert!((total - 2.0).abs() < 1e-6, "total {total}");
         // fuel-water alternation: water, fuel, water, water, fuel, water.
         assert!(segs.len() >= 5);
-        let fuel_len: f64 = segs
-            .iter()
-            .filter(|(f, _)| g.fsr_material(*f) == MaterialId(0))
-            .map(|s| s.1)
-            .sum();
+        let fuel_len: f64 =
+            segs.iter().filter(|(f, _)| g.fsr_material(*f) == MaterialId(0)).map(|s| s.1).sum();
         assert!((fuel_len - 1.6).abs() < 1e-6, "fuel length {fuel_len}");
     }
 

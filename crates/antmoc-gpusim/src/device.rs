@@ -174,6 +174,15 @@ impl Device {
     fn finish_launch(&self, name: &str, per_cu: &[u64], start: Instant) {
         let seconds = start.elapsed().as_secs_f64();
         let total: u64 = per_cu.iter().sum();
+        let tel = antmoc_telemetry::Telemetry::global();
+        tel.counter_add("device.launches", 1);
+        tel.counter_add("device.work_units", total);
+        // Occupancy: fraction of CUs that did any work this launch.
+        let active = per_cu.iter().filter(|&&w| w > 0).count();
+        if !per_cu.is_empty() {
+            tel.gauge_set("device.occupancy", active as f64 / per_cu.len() as f64);
+        }
+        tel.gauge_set("device.pool_used_bytes", self.memory.used() as f64);
         let mut m = self.metrics.lock();
         for (cu, w) in per_cu.iter().enumerate() {
             m.cu_work[cu] += w;

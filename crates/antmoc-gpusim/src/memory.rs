@@ -63,6 +63,7 @@ impl MemoryPool {
         s.used += bytes;
         s.peak = s.peak.max(s.used);
         *s.tags.entry(tag.to_string()).or_insert(0) += bytes;
+        antmoc_telemetry::Telemetry::global().gauge_set("device.pool_used_bytes", s.used as f64);
         Ok(())
     }
 
@@ -100,8 +101,7 @@ impl MemoryPool {
     /// Live bytes per tag, sorted descending (the Table 3 breakdown).
     pub fn breakdown(&self) -> Vec<(String, u64)> {
         let s = self.state.lock();
-        let mut v: Vec<(String, u64)> =
-            s.tags.iter().map(|(k, &b)| (k.clone(), b)).collect();
+        let mut v: Vec<(String, u64)> = s.tags.iter().map(|(k, &b)| (k.clone(), b)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -147,7 +147,11 @@ pub struct DeviceBuffer<T> {
 }
 
 impl<T> DeviceBuffer<T> {
-    pub(crate) fn from_vec(pool: &MemoryPool, tag: &str, data: Vec<T>) -> Result<Self, OutOfMemory> {
+    pub(crate) fn from_vec(
+        pool: &MemoryPool,
+        tag: &str,
+        data: Vec<T>,
+    ) -> Result<Self, OutOfMemory> {
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         pool.reserve(tag, bytes)?;
         Ok(Self { data, pool: pool.clone(), bytes, tag: tag.to_string() })

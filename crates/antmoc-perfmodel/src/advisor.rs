@@ -61,7 +61,11 @@ pub fn advise(model: &MemoryModel, device_capacity: u64) -> Advice {
 /// Convenience: the smallest device count (uniform split) at which the
 /// per-device working set becomes feasible — the planning question behind
 /// the paper's 2x2x2-and-up decompositions.
-pub fn min_feasible_devices(model: &MemoryModel, device_capacity: u64, max_devices: usize) -> Option<usize> {
+pub fn min_feasible_devices(
+    model: &MemoryModel,
+    device_capacity: u64,
+    max_devices: usize,
+) -> Option<usize> {
     for n in 1..=max_devices {
         let nf = n as u64;
         let per_device = MemoryModel {
@@ -116,8 +120,10 @@ mod tests {
         match advise(&m, capacity) {
             Advice::Manager { budget_bytes, resident_fraction } => {
                 assert!(budget_bytes < 20 << 20);
-                assert!(resident_fraction > 0.15 && resident_fraction < 0.30,
-                    "fraction {resident_fraction}");
+                assert!(
+                    resident_fraction > 0.15 && resident_fraction < 0.30,
+                    "fraction {resident_fraction}"
+                );
             }
             other => panic!("expected Manager, got {other:?}"),
         }

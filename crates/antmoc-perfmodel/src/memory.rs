@@ -57,10 +57,7 @@ impl MemoryModel {
             ("3D_tracks", self.n_3d_tracks * MEM_PER_3D_TRACK),
             ("2D_segments", self.n_2d_segments * MEM_PER_2D_SEGMENT),
             ("3D_segments", self.n_3d_segments_stored * MEM_PER_3D_SEGMENT),
-            (
-                "Track_fluxs",
-                self.n_3d_tracks * mem_flux_per_3d_track(self.num_groups),
-            ),
+            ("Track_fluxs", self.n_3d_tracks * mem_flux_per_3d_track(self.num_groups)),
             ("Others", self.fixed + self.n_fsrs * self.num_groups * 16),
         ];
         let total = self.total_bytes().max(1);

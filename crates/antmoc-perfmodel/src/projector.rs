@@ -69,8 +69,8 @@ impl ScalingProjector {
         // Communication: boundary tracks shrink with domain surface /
         // volume; under strong scaling the per-domain boundary fraction
         // grows like n^(1/3).
-        let frac = self.boundary_fraction_base
-            * (gpus as f64 / self.base_gpus as f64).powf(1.0 / 3.0);
+        let frac =
+            self.boundary_fraction_base * (gpus as f64 / self.base_gpus as f64).powf(1.0 / 3.0);
         let boundary_tracks = segments_per_gpu * self.tracks_per_segment * frac.min(1.0);
         let bytes = boundary_tracks * 2.0 * self.num_groups as f64 * 4.0;
         let comm = bytes * self.sec_per_byte + self.latency;
@@ -107,7 +107,8 @@ impl ScalingProjector {
         gpu_counts
             .iter()
             .map(|&n| {
-                let extra = 1.0 + grid_overhead * ((n as f64 / self.base_gpus as f64).ln()).max(0.0);
+                let extra =
+                    1.0 + grid_overhead * ((n as f64 / self.base_gpus as f64).ln()).max(0.0);
                 let (t, resident) = self.iteration_seconds(n, per_gpu_segments * extra);
                 ScalingPoint {
                     gpus: n,

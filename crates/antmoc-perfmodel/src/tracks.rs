@@ -167,8 +167,8 @@ mod tests {
         let fine_segs = SegmentStore2d::trace(&m.geometry, &fine);
         let total_len: f64 = fine.tracks.iter().map(|t| t.length).sum();
         let predicted = model.predict_2d(total_len);
-        let rel = (predicted - fine_segs.num_segments() as f64).abs()
-            / fine_segs.num_segments() as f64;
+        let rel =
+            (predicted - fine_segs.num_segments() as f64).abs() / fine_segs.num_segments() as f64;
         assert!(
             rel < 0.03,
             "predicted {predicted} vs measured {} (rel {rel})",

@@ -32,7 +32,10 @@ impl AzimuthalQuadrature {
     /// angle has a complement mirrored about `pi/2` (required for reflective
     /// track linking) and no angle is axis-aligned.
     pub fn equal_angle(num_azim: usize) -> Self {
-        assert!(num_azim >= 4 && num_azim.is_multiple_of(4), "num_azim must be a positive multiple of 4, got {num_azim}");
+        assert!(
+            num_azim >= 4 && num_azim.is_multiple_of(4),
+            "num_azim must be a positive multiple of 4, got {num_azim}"
+        );
         let half = num_azim / 2;
         let d = 2.0 * PI / num_azim as f64;
         let half_angles: Vec<f64> = (0..half).map(|a| (a as f64 + 0.5) * d).collect();
@@ -47,7 +50,10 @@ impl AzimuthalQuadrature {
     /// between adjacent corrected angles.
     pub fn with_corrected_angles(angles: Vec<f64>) -> Self {
         let half = angles.len();
-        assert!(half >= 2 && half.is_multiple_of(2), "need an even number >= 2 of half-plane angles");
+        assert!(
+            half >= 2 && half.is_multiple_of(2),
+            "need an even number >= 2 of half-plane angles"
+        );
         for w in angles.windows(2) {
             assert!(w[0] < w[1], "angles must be strictly increasing");
         }

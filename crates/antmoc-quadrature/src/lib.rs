@@ -111,11 +111,8 @@ mod tests {
     #[test]
     fn product_weights_integrate_to_4pi() {
         for &(na, np) in &[(4usize, 2usize), (8, 4), (16, 6), (32, 2)] {
-            for ty in [
-                PolarType::GaussLegendre,
-                PolarType::TabuchiYamamoto,
-                PolarType::EqualWeight,
-            ] {
+            for ty in [PolarType::GaussLegendre, PolarType::TabuchiYamamoto, PolarType::EqualWeight]
+            {
                 let q = Quadrature::with_counts(na, np, ty);
                 let total = q.total_weight();
                 assert!(
@@ -171,10 +168,7 @@ mod tests {
                     m += w * d[i] * d[i];
                 }
             }
-            assert!(
-                (m - 4.0 * PI / 3.0).abs() < 1e-6,
-                "second moment component {i}: {m}"
-            );
+            assert!((m - 4.0 * PI / 3.0).abs() < 1e-6, "second moment component {i}: {m}");
         }
     }
 }

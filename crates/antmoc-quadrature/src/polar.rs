@@ -21,16 +21,8 @@ pub enum PolarType {
 
 /// Tabuchi–Yamamoto `sin theta` values and weights per half-space.
 /// Weights sum to 1 over the half-space (measure `sin theta d theta`).
-const TY_SIN: [&[f64]; 3] = [
-    &[0.798184],
-    &[0.363900, 0.899900],
-    &[0.166648, 0.537707, 0.932954],
-];
-const TY_WEIGHT: [&[f64]; 3] = [
-    &[1.0],
-    &[0.212854, 0.787146],
-    &[0.046233, 0.283619, 0.670148],
-];
+const TY_SIN: [&[f64]; 3] = [&[0.798184], &[0.363900, 0.899900], &[0.166648, 0.537707, 0.932954]];
+const TY_WEIGHT: [&[f64]; 3] = [&[1.0], &[0.212854, 0.787146], &[0.046233, 0.283619, 0.670148]];
 
 /// A polar quadrature over `(0, pi)`.
 #[derive(Debug, Clone)]
@@ -47,12 +39,18 @@ impl PolarQuadrature {
     /// Builds a polar quadrature with `num_polar` total angles (must be a
     /// positive even number; Tabuchi–Yamamoto supports 2, 4 or 6).
     pub fn new(ty: PolarType, num_polar: usize) -> Self {
-        assert!(num_polar >= 2 && num_polar.is_multiple_of(2), "num_polar must be a positive even number, got {num_polar}");
+        assert!(
+            num_polar >= 2 && num_polar.is_multiple_of(2),
+            "num_polar must be a positive even number, got {num_polar}"
+        );
         let half = num_polar / 2;
         let (half_thetas, half_weights) = match ty {
             PolarType::GaussLegendre => gauss_legendre_half(half),
             PolarType::TabuchiYamamoto => {
-                assert!(half <= 3, "Tabuchi–Yamamoto supports at most 6 polar angles, got {num_polar}");
+                assert!(
+                    half <= 3,
+                    "Tabuchi–Yamamoto supports at most 6 polar angles, got {num_polar}"
+                );
                 let thetas: Vec<f64> = TY_SIN[half - 1].iter().map(|s| s.asin()).collect();
                 (thetas, TY_WEIGHT[half - 1].to_vec())
             }

@@ -10,10 +10,10 @@ use antmoc_gpusim::{Device, DeviceSpec};
 
 use crate::decomp::Decomposition;
 use crate::device::{CuMapping, DeviceSolver};
+use crate::eigen::CpuSweeper;
 use crate::eigen::{EigenOptions, Sweeper};
 use crate::problem::Problem;
 use crate::source::{compute_reduced_source, fission_production, update_scalar_flux};
-use crate::eigen::CpuSweeper;
 use crate::sweep::{FluxBanks, SegmentSource, StorageMode};
 
 /// Per-rank execution backend.
@@ -112,16 +112,19 @@ impl crate::eigen::Sweeper for SerialSweeper<'_> {
         let mut leakage = 0.0f64;
         for t in 0..problem.num_tracks() as u32 {
             let (s, l) = crate::sweep::sweep_one_track(
-                problem, self.segsrc, q, &phi_acc, banks, t, &mut scratch,
+                problem,
+                self.segsrc,
+                q,
+                &phi_acc,
+                banks,
+                t,
+                &mut scratch,
             );
             segments += s;
             leakage += l;
         }
         crate::sweep::SweepOutcome {
-            phi_acc: phi_acc
-                .iter()
-                .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))
-                .collect(),
+            phi_acc: phi_acc.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))).collect(),
             leakage,
             segments,
         }
@@ -274,8 +277,7 @@ fn run_rank(
             assert_eq!(payload.len(), items.len() * g);
             for (i, &((t, dir), weight)) in items.iter().enumerate() {
                 scratch32.clear();
-                scratch32
-                    .extend(payload[i * g..(i + 1) * g].iter().map(|&x| x * weight));
+                scratch32.extend(payload[i * g..(i + 1) * g].iter().map(|&x| x * weight));
                 banks.set_incoming(t, dir as usize, &scratch32);
             }
         }
@@ -332,9 +334,14 @@ mod tests {
         assert!(reference.converged);
 
         // 2x1x1 decomposition.
-        let d = Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
+        let d =
+            Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
         let r = solve_cluster(&d, &Backend::Cpu, &opts);
-        assert!(r.converged, "cluster did not converge: {:?}", &r.residuals[r.residuals.len().saturating_sub(3)..]);
+        assert!(
+            r.converged,
+            "cluster did not converge: {:?}",
+            &r.residuals[r.residuals.len().saturating_sub(3)..]
+        );
         // The decomposed tracking is not identical to the global one
         // (per-window laydown and nearest-z interface pairing), so allow a
         // modest eigenvalue difference.
@@ -355,7 +362,8 @@ mod tests {
         let mut sweeper = CpuSweeper { segsrc: &segsrc };
         let reference = solve_eigenvalue(&p, &mut sweeper, &opts);
 
-        let d = Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 1, ny: 1, nz: 2 });
+        let d =
+            Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 1, ny: 1, nz: 2 });
         let r = solve_cluster(&d, &Backend::Cpu, &opts);
         assert!(r.converged);
         assert!(
@@ -369,24 +377,21 @@ mod tests {
     #[test]
     fn serial_backend_matches_parallel_backend() {
         let (g, axial, lib) = global();
-        let d = Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
+        let d =
+            Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
         let opts = EigenOptions { tolerance: 1e-30, max_iterations: 15, ..Default::default() };
         let a = solve_cluster(&d, &Backend::Cpu, &opts);
         let b = solve_cluster(&d, &Backend::CpuSerial, &opts);
         // Identical algorithm, different execution order: results agree
         // to the f32-bank / atomic-order noise floor.
-        assert!(
-            (a.keff - b.keff).abs() < 1e-6,
-            "parallel {} vs serial {}",
-            a.keff,
-            b.keff
-        );
+        assert!((a.keff - b.keff).abs() < 1e-6, "parallel {} vs serial {}", a.keff, b.keff);
     }
 
     #[test]
     fn cluster_traffic_matches_plan_volume() {
         let (g, axial, lib) = global();
-        let d = Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
+        let d =
+            Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
         let opts = EigenOptions { tolerance: 1e-30, max_iterations: 5, ..Default::default() };
         let r = solve_cluster(&d, &Backend::Cpu, &opts);
         // Each iteration ships every planned send once: 4 bytes per group
@@ -395,10 +400,7 @@ mod tests {
         for (rank, ex) in d.exchanges.iter().enumerate() {
             let flux_bytes = ex.sends.len() as u64 * g7 * 4 * r.iterations as u64;
             let sent = r.traffic[rank].sent_bytes;
-            assert!(
-                sent >= flux_bytes,
-                "rank {rank} sent {sent} < planned flux {flux_bytes}"
-            );
+            assert!(sent >= flux_bytes, "rank {rank} sent {sent} < planned flux {flux_bytes}");
             // Collectives add only small scalar messages.
             assert!(
                 sent < flux_bytes + 16 * 64 * r.iterations as u64 + 4096,
@@ -410,7 +412,8 @@ mod tests {
     #[test]
     fn device_backend_runs_decomposed() {
         let (g, axial, lib) = global();
-        let d = Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
+        let d =
+            Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
         let opts = EigenOptions { tolerance: 1e-4, max_iterations: 2500, ..Default::default() };
         let backend = Backend::Device {
             spec: DeviceSpec::scaled(64 << 20),

@@ -117,11 +117,8 @@ impl Decomposition {
 
         // Axial mesh target: preserve the global model's finest cell
         // height so windows conform.
-        let target_dz = axial
-            .planes()
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .fold(f64::INFINITY, f64::min);
+        let target_dz =
+            axial.planes().windows(2).map(|w| w[1] - w[0]).fold(f64::INFINITY, f64::min);
 
         use rayon::prelude::*;
         let problems: Vec<Problem> = (0..spec.num_domains())
@@ -250,10 +247,7 @@ fn build_exchange_plan(problems: &[Problem], spec: DecompSpec) -> (Vec<RankExcha
         let (ix, iy, iz) = spec.coords_of(rank);
         let bounds = problem.geometry.bounds();
         let zr = problem.geometry.z_range();
-        let eps = 1e-6
-            * (bounds.1 - bounds.0)
-                .max(bounds.3 - bounds.2)
-                .max(zr.1 - zr.0);
+        let eps = 1e-6 * (bounds.1 - bounds.0).max(bounds.3 - bounds.2).max(zr.1 - zr.0);
         for (t, st) in problem.sweep_tracks.iter().enumerate() {
             for dir in 0..2u8 {
                 // Open exit: this traversal leaves through vacuum.
@@ -276,7 +270,8 @@ fn build_exchange_plan(problems: &[Problem], spec: DecompSpec) -> (Vec<RankExcha
         }
     }
 
-    let mut plans: Vec<RankExchange> = (0..problems.len()).map(|_| RankExchange::default()).collect();
+    let mut plans: Vec<RankExchange> =
+        (0..problems.len()).map(|_| RankExchange::default()).collect();
     let mut unmatched = 0usize;
 
     // The matching is *entry-driven*: every open entry of the receiving
@@ -339,8 +334,11 @@ fn build_exchange_plan(problems: &[Problem], spec: DecompSpec) -> (Vec<RankExcha
     // Deterministic order for batched messaging.
     for p in &mut plans {
         p.sends.sort_by(|a, b| {
-            (a.neighbor_rank, a.neighbor_traversal, a.local_traversal)
-                .cmp(&(b.neighbor_rank, b.neighbor_traversal, b.local_traversal))
+            (a.neighbor_rank, a.neighbor_traversal, a.local_traversal).cmp(&(
+                b.neighbor_rank,
+                b.neighbor_traversal,
+                b.local_traversal,
+            ))
         });
     }
     (plans, unmatched)
@@ -384,7 +382,8 @@ mod tests {
     #[test]
     fn decomposition_builds_expected_domains() {
         let (g, axial, lib) = global();
-        let d = Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 2, nz: 2 });
+        let d =
+            Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 2, nz: 2 });
         assert_eq!(d.problems.len(), 8);
         for (rank, p) in d.problems.iter().enumerate() {
             let (ix, iy, iz) = d.spec.coords_of(rank);
@@ -405,7 +404,8 @@ mod tests {
     #[test]
     fn exchange_plan_pairs_most_interface_traversals() {
         let (g, axial, lib) = global();
-        let d = Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
+        let d =
+            Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
         let total_sends: usize = d.exchanges.iter().map(|e| e.sends.len()).sum();
         assert!(total_sends > 0, "no interface exchange at all");
         // The unmatched fraction must be small.
@@ -419,7 +419,8 @@ mod tests {
     #[test]
     fn exchange_items_reference_valid_traversals() {
         let (g, axial, lib) = global();
-        let d = Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 2, nz: 1 });
+        let d =
+            Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 2, nz: 1 });
         for (rank, ex) in d.exchanges.iter().enumerate() {
             for item in &ex.sends {
                 assert!(item.local_traversal.0 < d.problems[rank].num_tracks() as u32);
@@ -440,7 +441,8 @@ mod tests {
         // modular laydown; verify sends land on geometrically close
         // entries.
         let (g, axial, lib) = global();
-        let d = Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
+        let d =
+            Decomposition::build(&g, &axial, &lib, params(), DecompSpec { nx: 2, ny: 1, nz: 1 });
         for (rank, ex) in d.exchanges.iter().enumerate() {
             for item in &ex.sends {
                 let c_exit = crossing_of(

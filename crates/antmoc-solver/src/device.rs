@@ -80,11 +80,8 @@ impl DeviceSolver {
         let (segsrc, plan) = match mode {
             StorageMode::Otf => (SegmentSource::otf(), None),
             StorageMode::Explicit => {
-                let bytes: u64 = problem
-                    .sweep_tracks
-                    .iter()
-                    .map(|t| stored_bytes_for(t.num_segments))
-                    .sum();
+                let bytes: u64 =
+                    problem.sweep_tracks.iter().map(|t| stored_bytes_for(t.num_segments)).sum();
                 reservations.push(Reservation::new(&pool, "3D_segments", bytes)?);
                 let all: Vec<Track3dId> = problem.layout.tracks3d.ids().collect();
                 (SegmentSource::stored(problem, &all), None)
@@ -105,15 +102,7 @@ impl DeviceSolver {
             }
         };
 
-        Ok(Self {
-            device,
-            mode,
-            mapping,
-            segsrc,
-            plan,
-            assignments,
-            _reservations: reservations,
-        })
+        Ok(Self { device, mode, mapping, segsrc, plan, assignments, _reservations: reservations })
     }
 
     /// The live segment source (for inspection in tests/benches).
@@ -159,12 +148,10 @@ impl Sweeper for DeviceSolver {
 
         match &self.assignments {
             None => {
-                self.device
-                    .launch("fused_sweep", problem.num_tracks(), |i| body(i as u32));
+                self.device.launch("fused_sweep", problem.num_tracks(), |i| body(i as u32));
             }
             Some(assignments) => {
-                self.device
-                    .launch_by_cu("fused_sweep_l3", assignments, |_cu, t| body(t));
+                self.device.launch_by_cu("fused_sweep_l3", assignments, |_cu, t| body(t));
             }
         }
 
@@ -177,10 +164,7 @@ impl Sweeper for DeviceSolver {
         let _ = segments; // per-launch count comes from the sweep below
 
         SweepOutcome {
-            phi_acc: phi_acc
-                .iter()
-                .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))
-                .collect(),
+            phi_acc: phi_acc.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))).collect(),
             leakage: f64::from_bits(leak_bits.load(Ordering::Relaxed)),
             segments: problem.num_3d_segments() * 2,
         }
@@ -262,7 +246,8 @@ mod tests {
                 .unwrap();
             let capacity = total - segs / 2;
             let dev = Arc::new(Device::new(DeviceSpec::scaled(capacity)));
-            let r = DeviceSolver::new(dev.clone(), &p, StorageMode::Explicit, CuMapping::GridStride);
+            let r =
+                DeviceSolver::new(dev.clone(), &p, StorageMode::Explicit, CuMapping::GridStride);
             assert!(r.is_err(), "explicit segments must not fit {capacity} bytes");
             // OTF fits the same device.
             let otf = DeviceSolver::new(dev, &p, StorageMode::Otf, CuMapping::GridStride);
@@ -315,9 +300,10 @@ mod tests {
         let _solver =
             DeviceSolver::new(dev.clone(), &p, StorageMode::Explicit, CuMapping::GridStride)
                 .unwrap();
-        let tags: Vec<String> =
-            dev.memory().breakdown().into_iter().map(|(t, _)| t).collect();
-        for expect in ["2D_tracks", "3D_tracks", "2D_segments", "3D_segments", "Track_fluxs", "Others"] {
+        let tags: Vec<String> = dev.memory().breakdown().into_iter().map(|(t, _)| t).collect();
+        for expect in
+            ["2D_tracks", "3D_tracks", "2D_segments", "3D_segments", "Track_fluxs", "Others"]
+        {
             assert!(tags.contains(&expect.to_string()), "missing {expect}: {tags:?}");
         }
         // 3D segments dominate (the Table 3 shape).
@@ -351,18 +337,14 @@ mod tests {
         let q = vec![0.2f64; p.num_fsrs() * p.num_groups()];
         let run = |mapping: CuMapping| {
             let dev = big_device();
-            let mut s =
-                DeviceSolver::new(dev, &p, StorageMode::Explicit, mapping).unwrap();
+            let mut s = DeviceSolver::new(dev, &p, StorageMode::Explicit, mapping).unwrap();
             let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
             s.sweep(&p, &q, &banks).phi_acc
         };
         let a = run(CuMapping::GridStride);
         let b = run(CuMapping::SegmentSorted);
         for (x, y) in a.iter().zip(&b) {
-            assert!(
-                (x - y).abs() < 1e-9 * x.abs().max(1.0),
-                "{x} vs {y}"
-            );
+            assert!((x - y).abs() < 1e-9 * x.abs().max(1.0), "{x} vs {y}");
         }
     }
 
@@ -375,18 +357,14 @@ mod tests {
         let q = vec![0.2f64; p.num_fsrs() * p.num_groups()];
         let measure = |mapping: CuMapping| {
             let dev = big_device();
-            let mut s =
-                DeviceSolver::new(dev.clone(), &p, StorageMode::Explicit, mapping).unwrap();
+            let mut s = DeviceSolver::new(dev.clone(), &p, StorageMode::Explicit, mapping).unwrap();
             let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
             let _ = s.sweep(&p, &q, &banks);
             dev.metrics().cu_load_uniformity().unwrap()
         };
         let stride = measure(CuMapping::GridStride);
         let sorted = measure(CuMapping::SegmentSorted);
-        assert!(
-            sorted <= stride + 1e-9,
-            "L3 uniformity {sorted} vs grid-stride {stride}"
-        );
+        assert!(sorted <= stride + 1e-9, "L3 uniformity {sorted} vs grid-stride {stride}");
     }
 
     #[test]

@@ -70,10 +70,14 @@ pub fn solve_eigenvalue(
     sweeper: &mut dyn Sweeper,
     opts: &EigenOptions,
 ) -> EigenResult {
+    let tel = antmoc_telemetry::Telemetry::global();
+    let _eigen_span = tel.span("eigen");
+
     let n = problem.num_fsrs() * problem.num_groups();
     let mut phi = vec![1.0f64; n];
     let mut q = vec![0.0f64; n];
     let mut banks = FluxBanks::new(problem.num_tracks(), problem.num_groups());
+    tel.gauge_set("solver.flux_bank_bytes", banks.bytes() as f64);
     let mut k = opts.k_guess;
 
     // Normalise the initial guess to unit fission production.
@@ -128,15 +132,9 @@ pub fn solve_eigenvalue(
         }
     }
 
-    EigenResult {
-        keff: k,
-        iterations,
-        converged,
-        phi,
-        residuals,
-        k_history,
-        total_segments,
-    }
+    tel.counter_add("eigen.iterations", iterations as u64);
+
+    EigenResult { keff: k, iterations, converged, phi, residuals, k_history, total_segments }
 }
 
 #[cfg(test)]
@@ -205,14 +203,14 @@ mod tests {
         let lib = c5g7::library();
         let r = solve_box(&lib, "UO2", BoundaryConds::reflective());
         let expect = k_inf(lib.by_name("UO2").unwrap().1);
-        assert!(r.converged, "did not converge: residuals {:?}", &r.residuals[r.residuals.len().saturating_sub(3)..]);
+        assert!(
+            r.converged,
+            "did not converge: residuals {:?}",
+            &r.residuals[r.residuals.len().saturating_sub(3)..]
+        );
         // The all-reflective top uses the nearest-line mirror (documented
         // approximation), which leaks a little; allow a small bias.
-        assert!(
-            (r.keff - expect).abs() < 8e-3,
-            "MOC k {} vs matrix k-infinity {expect}",
-            r.keff
-        );
+        assert!((r.keff - expect).abs() < 8e-3, "MOC k {} vs matrix k-infinity {expect}", r.keff);
     }
 
     #[test]

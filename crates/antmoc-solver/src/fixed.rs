@@ -52,10 +52,10 @@ pub fn solve_fixed_source(
     let g = problem.num_groups();
     let n = problem.num_fsrs() * g;
     assert_eq!(external.len(), n, "external source must be (fsr, group) shaped");
-    assert!(
-        external.iter().any(|&s| s > 0.0),
-        "external source must be non-trivial"
-    );
+    assert!(external.iter().any(|&s| s > 0.0), "external source must be non-trivial");
+
+    let tel = antmoc_telemetry::Telemetry::global();
+    let _fixed_span = tel.span("fixed_source");
 
     let xs = &problem.xs;
     let mut phi = vec![0.0f64; n];
@@ -82,10 +82,8 @@ pub fn solve_fixed_source(
                 for h in 0..g {
                     inscatter += xs.scatter[(mat * g + h) * g + gi] * phif[h];
                 }
-                let total = (external[f * g + gi]
-                    + xs.chi[mat * g + gi] * fission
-                    + inscatter)
-                    / FOUR_PI;
+                let total =
+                    (external[f * g + gi] + xs.chi[mat * g + gi] * fission + inscatter) / FOUR_PI;
                 qf[gi] = total / xs.sigma_t[mat * g + gi];
             }
         });
@@ -111,6 +109,8 @@ pub fn solve_fixed_source(
             break;
         }
     }
+
+    tel.counter_add("fixed.iterations", iterations as u64);
 
     FixedSourceResult { phi, iterations, converged, residuals }
 }
@@ -206,7 +206,8 @@ mod tests {
             external[f * g] = 1.0;
         }
         let segsrc = SegmentSource::otf();
-        let opts = FixedSourceOptions { tolerance: 1e-7, max_iterations: 3000, with_fission: false };
+        let opts =
+            FixedSourceOptions { tolerance: 1e-7, max_iterations: 3000, with_fission: false };
         let mut s1 = CpuSweeper { segsrc: &segsrc };
         let bare = solve_fixed_source(&p, &mut s1, &external, &opts);
         let mut s2 = CpuSweeper { segsrc: &segsrc };
@@ -219,10 +220,7 @@ mod tests {
         assert!(bare.converged && mult.converged);
         let total = |phi: &[f64]| phi.iter().sum::<f64>();
         let ratio = total(&mult.phi) / total(&bare.phi);
-        assert!(
-            ratio > 1.01 && ratio < 3.0,
-            "subcritical multiplication ratio {ratio}"
-        );
+        assert!(ratio > 1.01 && ratio < 3.0, "subcritical multiplication ratio {ratio}");
     }
 
     #[test]

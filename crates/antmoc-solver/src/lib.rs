@@ -20,8 +20,8 @@
 
 pub mod cluster;
 pub mod decomp;
-pub mod diagnostics;
 pub mod device;
+pub mod diagnostics;
 pub mod eigen;
 pub mod exptable;
 pub mod fixed;

@@ -47,7 +47,8 @@ pub fn select_resident(problem: &Problem, budget_bytes: u64, policy: RankPolicy)
     let mut order: Vec<u32> = (0..n as u32).collect();
     match policy {
         RankPolicy::BySegments => {
-            order.sort_by_key(|&i| std::cmp::Reverse(problem.sweep_tracks[i as usize].num_segments));
+            order
+                .sort_by_key(|&i| std::cmp::Reverse(problem.sweep_tracks[i as usize].num_segments));
         }
         RankPolicy::ByLength => {
             order.sort_by(|&a, &b| {
@@ -84,6 +85,10 @@ pub fn select_resident(problem: &Problem, budget_bytes: u64, policy: RankPolicy)
         resident.push(Track3dId(i));
     }
     let total_segs = problem.num_3d_segments();
+    let tel = antmoc_telemetry::Telemetry::global();
+    tel.gauge_set("manager.resident_bytes", bytes as f64);
+    tel.counter_add("manager.resident_segments", res_segs);
+    tel.counter_add("manager.temporary_segments", total_segs - res_segs);
     ResidencyPlan {
         resident,
         resident_bytes: bytes,
@@ -171,10 +176,7 @@ mod tests {
                 .map(|t| p.sweep_tracks[t.0 as usize].num_segments as u64)
                 .sum();
             assert_eq!(plan.resident_segments, direct);
-            assert_eq!(
-                plan.resident_segments + plan.temporary_segments,
-                p.num_3d_segments()
-            );
+            assert_eq!(plan.resident_segments + plan.temporary_segments, p.num_3d_segments());
         }
     }
 }

@@ -177,11 +177,7 @@ impl Problem {
     }
 }
 
-fn build_sweep_tracks(
-    layout: &TrackLayout,
-    bcs: BoundaryConds,
-    counts: &[u32],
-) -> Vec<SweepTrack> {
+fn build_sweep_tracks(layout: &TrackLayout, bcs: BoundaryConds, counts: &[u32]) -> Vec<SweepTrack> {
     let t3 = &layout.tracks3d;
     let t2 = &layout.tracks2d;
     let chains = &layout.chains;
@@ -203,10 +199,7 @@ fn build_sweep_tracks(
                 inv_sin: 1.0 / info.sin_theta,
                 weight: w_a * w_p * area,
                 num_segments: counts[i],
-                links: [
-                    t3.link(id, true, chains, bcs),
-                    t3.link(id, false, chains, bcs),
-                ],
+                links: [t3.link(id, true, chains, bcs), t3.link(id, false, chains, bcs)],
             }
         })
         .collect()

@@ -80,8 +80,7 @@ impl Problem2d {
                 }
             }
         }
-        let fsr_mat: Vec<u32> =
-            geometry.fsrs().map(|f| geometry.fsr_material(f).0).collect();
+        let fsr_mat: Vec<u32> = geometry.fsrs().map(|f| geometry.fsr_material(f).0).collect();
         let track_w: Vec<f64> = tracks
             .tracks
             .iter()
@@ -309,7 +308,7 @@ mod tests {
     use super::*;
     use antmoc_geom::geometry::homogeneous_box;
     use antmoc_geom::BoundaryConds;
-    use antmoc_quadrature::{PolarType};
+    use antmoc_quadrature::PolarType;
     use antmoc_xs::c5g7;
 
     fn k_inf_uo2() -> f64 {
@@ -407,11 +406,7 @@ mod tests {
             &EigenOptions { tolerance: 1e-4, max_iterations: 800, ..Default::default() },
         );
         assert!(r.converged);
-        assert!(
-            r.keff > 1.10 && r.keff < 1.30,
-            "2D C5G7 k {} (reference 1.18655)",
-            r.keff
-        );
+        assert!(r.keff > 1.10 && r.keff < 1.30, "2D C5G7 k {} (reference 1.18655)", r.keff);
     }
 
     #[test]
@@ -426,9 +421,6 @@ mod tests {
             0.5,
             PolarQuadrature::new(PolarType::TabuchiYamamoto, 4),
         );
-        assert_eq!(
-            p.segment_sweeps_per_iteration(),
-            p.segments.num_segments() as u64 * 2 * 2
-        );
+        assert_eq!(p.segment_sweeps_per_iteration(), p.segments.num_segments() as u64 * 2 * 2);
     }
 }

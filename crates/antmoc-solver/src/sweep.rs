@@ -13,9 +13,16 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
+use antmoc_telemetry::Telemetry;
 use antmoc_track::{trace_3d, Link3d, SegmentStore3d, Track3dId, Track3dInfo, TrackId};
 
 use crate::problem::Problem;
+
+/// CAS retries taken by [`atomic_add_f64`] since process start. The retry
+/// branch only runs under contention, so the extra relaxed increment is
+/// off the fast path; `transport_sweep` samples the difference per sweep
+/// into the `sweep.cas_retries` counter.
+static CAS_RETRIES: AtomicU64 = AtomicU64::new(0);
 
 /// Maximum supported energy groups (stack-allocated per-traversal state).
 pub const MAX_GROUPS: usize = 8;
@@ -99,6 +106,12 @@ impl FluxBanks {
             outgoing: (0..n).map(|_| AtomicU32::new(0)).collect(),
             boundary: (0..n).map(|_| AtomicU32::new(0)).collect(),
         }
+    }
+
+    /// Resident bytes across all three banks.
+    pub fn bytes(&self) -> u64 {
+        ((self.incoming.len() + self.outgoing.len() + self.boundary.len())
+            * std::mem::size_of::<AtomicU32>()) as u64
     }
 
     #[inline]
@@ -200,7 +213,10 @@ pub fn atomic_add_f64(slot: &AtomicU64, value: f64) {
         let next = (f64::from_bits(cur) + value).to_bits();
         match slot.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
-            Err(c) => cur = c,
+            Err(c) => {
+                CAS_RETRIES.fetch_add(1, Ordering::Relaxed);
+                cur = c;
+            }
         }
     }
 }
@@ -328,6 +344,10 @@ pub fn transport_sweep(
     q: &[f64],
     banks: &FluxBanks,
 ) -> SweepOutcome {
+    let tel = Telemetry::global();
+    let _sweep_span = tel.span("transport_sweep");
+    let retries_before = CAS_RETRIES.load(Ordering::Relaxed);
+
     let nf = problem.num_fsrs() * problem.num_groups();
     let phi_acc: Vec<AtomicU64> = (0..nf).map(|_| AtomicU64::new(0)).collect();
 
@@ -336,13 +356,17 @@ pub fn transport_sweep(
         .fold(
             || (Vec::new(), 0u64, 0.0f64),
             |(mut scratch, segs, leak), t| {
-                let (s, l) =
-                    sweep_one_track(problem, segsrc, q, &phi_acc, banks, t, &mut scratch);
+                let (s, l) = sweep_one_track(problem, segsrc, q, &phi_acc, banks, t, &mut scratch);
                 (scratch, segs + s, leak + l)
             },
         )
         .map(|(_, s, l)| (s, l))
         .reduce(|| (0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
+
+    tel.counter_add("sweep.segments", segments);
+    tel.counter_add("sweep.tracks", problem.num_tracks() as u64);
+    let retries = CAS_RETRIES.load(Ordering::Relaxed).wrapping_sub(retries_before);
+    tel.counter_add("sweep.cas_retries", retries);
 
     SweepOutcome {
         phi_acc: phi_acc.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))).collect(),

@@ -1,0 +1,323 @@
+//! Run telemetry: scoped spans, counters, and gauges feeding a
+//! machine-readable [`RunReport`].
+//!
+//! The paper's entire results section (§5, Figs. 8–12) is read off run
+//! logs — per-phase wall time, sweep throughput, memory footprint, and
+//! communication traffic. This crate is the measurement substrate those
+//! numbers flow through:
+//!
+//! * [`Telemetry::span`] — RAII wall timers; nested spans produce
+//!   `/`-joined paths (`eigen/transport_sweep`) and aggregate count,
+//!   total, min, and max per path, thread-safely.
+//! * [`Telemetry::counter_add`] — saturating event totals (segments
+//!   swept, tracks traced, comm bytes, atomic-add contention).
+//! * [`Telemetry::gauge_set`] — level samples retaining a high-water
+//!   mark (resident-segment bytes, flux-bank memory, pool usage).
+//! * [`Telemetry::report`] — snapshots everything into a [`RunReport`]
+//!   that serializes to pretty JSON (see `report.rs` for the schema).
+//!
+//! Handles are cheap clones of an `Arc`; the process-wide instance from
+//! [`Telemetry::global`] is what the solver/track/cluster/gpusim hot
+//! paths record into, so binaries can `reset()` at run start and
+//! `report()` at the end without threading a handle through every
+//! signature.
+
+pub mod json;
+mod report;
+
+pub use json::Json;
+pub use report::{GaugeStats, RunReport, SpanStats};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+thread_local! {
+    /// The active span-name stack on this thread; drives path nesting.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Default)]
+struct Registry {
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, GaugeStats>>,
+    meta: Mutex<BTreeMap<String, Json>>,
+    sections: Mutex<BTreeMap<String, Json>>,
+}
+
+/// A cloneable handle to a telemetry registry.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    registry: Arc<Registry>,
+}
+
+impl Telemetry {
+    /// A fresh, private registry (used by tests and tools that must not
+    /// share state with the global instance).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry the library hot paths record into.
+    pub fn global() -> &'static Telemetry {
+        static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+        GLOBAL.get_or_init(Telemetry::new)
+    }
+
+    /// Opens a RAII span. While the guard lives, spans opened on the
+    /// same thread nest under it; dropping the guard records the elapsed
+    /// wall time against the `/`-joined path.
+    ///
+    /// Names are `&'static str` on purpose: hot paths must not allocate
+    /// to be observable.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.join("/")
+        });
+        SpanGuard { telemetry: self, path: Some(path), start: Instant::now() }
+    }
+
+    /// Adds to a counter, saturating at `u64::MAX` (a tripped counter
+    /// must pin at the ceiling, not wrap to a tiny value and fake a
+    /// quiet run).
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut counters = self.registry.counters.lock();
+        let slot = counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Sets a gauge's current level and folds it into the high-water
+    /// mark.
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        let mut gauges = self.registry.gauges.lock();
+        let slot = gauges.entry(name).or_default();
+        slot.last = value;
+        slot.high_water = slot.high_water.max(value);
+    }
+
+    /// Attaches run identification carried into the report.
+    pub fn set_meta(&self, key: &str, value: &str) {
+        self.registry.meta.lock().insert(key.to_string(), Json::Str(value.to_string()));
+    }
+
+    /// Attaches a numeric metadata entry.
+    pub fn set_meta_num(&self, key: &str, value: f64) {
+        self.registry.meta.lock().insert(key.to_string(), Json::Num(value));
+    }
+
+    /// Attaches a free-form JSON section (e.g. a neutron-balance
+    /// report) carried into the report.
+    pub fn set_section(&self, name: &str, value: Json) {
+        self.registry.sections.lock().insert(name.to_string(), value);
+    }
+
+    /// Snapshots all aggregates into a serializable report.
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            meta: self.registry.meta.lock().clone(),
+            spans: self.registry.spans.lock().clone(),
+            counters: self
+                .registry
+                .counters
+                .lock()
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self.registry.gauges.lock().iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            sections: self.registry.sections.lock().clone(),
+        }
+    }
+
+    /// Clears every aggregate — call at the start of a measured run when
+    /// using the global instance.
+    pub fn reset(&self) {
+        self.registry.spans.lock().clear();
+        self.registry.counters.lock().clear();
+        self.registry.gauges.lock().clear();
+        self.registry.meta.lock().clear();
+        self.registry.sections.lock().clear();
+    }
+
+    fn record_span(&self, path: &str, seconds: f64) {
+        self.registry.spans.lock().entry(path.to_string()).or_default().record(seconds);
+    }
+}
+
+/// RAII guard created by [`Telemetry::span`]; records on drop.
+pub struct SpanGuard<'a> {
+    telemetry: &'a Telemetry,
+    /// `Some` until the guard fires; `take`n in drop.
+    path: Option<String>,
+    start: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// The `/`-joined path this guard will record under.
+    pub fn path(&self) -> &str {
+        self.path.as_deref().unwrap_or("")
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else { return };
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        self.telemetry.record_span(&path, self.start.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let t = Telemetry::new();
+        {
+            let _outer = t.span("eigen");
+            {
+                let _inner = t.span("transport_sweep");
+            }
+            {
+                let _inner = t.span("transport_sweep");
+            }
+        }
+        let r = t.report();
+        assert_eq!(r.spans["eigen"].count, 1);
+        assert_eq!(r.spans["eigen/transport_sweep"].count, 2);
+        assert!(r.spans["eigen"].total_s >= r.spans["eigen/transport_sweep"].total_s);
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        let t = Telemetry::new();
+        {
+            let _a = t.span("a");
+        }
+        {
+            let _b = t.span("b");
+        }
+        let r = t.report();
+        assert!(r.spans.contains_key("a"));
+        assert!(r.spans.contains_key("b"));
+        assert!(!r.spans.contains_key("a/b"));
+    }
+
+    #[test]
+    fn spans_aggregate_across_rayon_worker_threads() {
+        use rayon::prelude::*;
+        let t = Telemetry::new();
+        let _outer = t.span("launch");
+        // Worker threads have fresh span stacks, so spans opened inside
+        // the parallel region are roots there — every completion must
+        // still land in the shared aggregate. A 4-thread pool forces
+        // real workers even on single-CPU hosts.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..64usize).into_par_iter().for_each(|_| {
+                let _s = t.span("kernel");
+            });
+        });
+        drop(_outer);
+        let r = t.report();
+        assert_eq!(r.spans["kernel"].count, 64);
+        assert_eq!(r.spans["launch"].count, 1);
+        assert!(r.spans["kernel"].min_s <= r.spans["kernel"].max_s);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let t = Telemetry::new();
+        t.counter_add("big", u64::MAX - 1);
+        t.counter_add("big", 10);
+        t.counter_add("big", 10);
+        assert_eq!(t.report().counter("big"), u64::MAX);
+    }
+
+    #[test]
+    fn counters_accumulate_from_many_threads() {
+        let t = Telemetry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        t.counter_add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.report().counter("hits"), 8000);
+    }
+
+    #[test]
+    fn gauges_keep_high_water() {
+        let t = Telemetry::new();
+        t.gauge_set("pool", 100.0);
+        t.gauge_set("pool", 400.0);
+        t.gauge_set("pool", 50.0);
+        let g = t.report().gauges["pool"];
+        assert_eq!(g.last, 50.0);
+        assert_eq!(g.high_water, 400.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = Telemetry::new();
+        t.counter_add("c", 1);
+        t.gauge_set("g", 1.0);
+        {
+            let _s = t.span("s");
+        }
+        t.set_meta("case", "x");
+        t.reset();
+        let r = t.report();
+        assert!(r.counters.is_empty());
+        assert!(r.gauges.is_empty());
+        assert!(r.spans.is_empty());
+        assert!(r.meta.is_empty());
+    }
+
+    #[test]
+    fn full_report_round_trips_through_json() {
+        let t = Telemetry::new();
+        t.set_meta("case", "unit");
+        {
+            let _s = t.span("phase");
+            t.counter_add("segments", 12345);
+            t.gauge_set("bytes", 9.5e6);
+        }
+        let r = t.report();
+        let back = RunReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back.counter("segments"), 12345);
+        assert_eq!(back.spans["phase"].count, 1);
+        assert_eq!(back.gauges["bytes"].high_water, 9.5e6);
+        assert_eq!(back.meta["case"], Json::Str("unit".into()));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn arbitrary_counter_sets_round_trip(
+            values in proptest::collection::vec(0u64..1_000_000_000, 1..20)
+        ) {
+            let t = Telemetry::new();
+            // Distinct static names are limited; fold values into one
+            // counter and compare the saturating sum.
+            let mut expected: u64 = 0;
+            for v in &values {
+                t.counter_add("acc", *v);
+                expected = expected.saturating_add(*v);
+            }
+            let r = t.report();
+            let back = RunReport::from_json_str(&r.to_json_string()).unwrap();
+            proptest::prop_assert_eq!(back.counter("acc"), expected);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The machine-readable run artifact: every figure in the paper is read
+//! off per-phase wall times, throughput counters, and memory/traffic
+//! gauges, and `RunReport` is the one place they all land.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::json::{parse, Json, ParseError};
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanStats {
+    /// Number of completed span guards.
+    pub count: u64,
+    /// Total wall seconds across all completions.
+    pub total_s: f64,
+    /// Shortest single completion.
+    pub min_s: f64,
+    /// Longest single completion.
+    pub max_s: f64,
+}
+
+impl SpanStats {
+    pub(crate) fn record(&mut self, seconds: f64) {
+        if self.count == 0 {
+            self.min_s = seconds;
+            self.max_s = seconds;
+        } else {
+            self.min_s = self.min_s.min(seconds);
+            self.max_s = self.max_s.max(seconds);
+        }
+        self.count += 1;
+        self.total_s += seconds;
+    }
+
+    /// Mean seconds per completion.
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_s / self.count as f64
+        }
+    }
+}
+
+/// Last-written and high-water values for one gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GaugeStats {
+    pub last: f64,
+    pub high_water: f64,
+}
+
+/// The serializable snapshot of a run's telemetry.
+///
+/// JSON schema (all sections optional-but-present, keys sorted):
+/// ```json
+/// {
+///   "meta":     { "<key>": <string|number>, ... },
+///   "spans":    { "<path>": {"count": N, "total_s": S, "min_s": S,
+///                            "max_s": S}, ... },
+///   "counters": { "<name>": N, ... },
+///   "gauges":   { "<name>": {"last": V, "high_water": V}, ... },
+///   "sections": { "<name>": <free-form JSON>, ... }
+/// }
+/// ```
+/// Span paths are `/`-separated nesting chains (e.g.
+/// `eigen/transport_sweep`). Counters are event totals (segments swept,
+/// bytes sent); gauges are level samples with a retained high-water mark
+/// (resident bytes, pool usage). `sections` carries adjacent artifacts —
+/// the solver's neutron-balance report, the run summary — so one file
+/// describes the whole run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Free-form identification: case name, configuration, hostname.
+    pub meta: BTreeMap<String, Json>,
+    pub spans: BTreeMap<String, SpanStats>,
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, GaugeStats>,
+    /// Adjacent machine-readable artifacts merged into this report.
+    pub sections: BTreeMap<String, Json>,
+}
+
+impl RunReport {
+    /// Sets a metadata string.
+    pub fn set_meta(&mut self, key: &str, value: &str) {
+        self.meta.insert(key.to_string(), Json::Str(value.to_string()));
+    }
+
+    /// Sets a metadata number.
+    pub fn set_meta_num(&mut self, key: &str, value: f64) {
+        self.meta.insert(key.to_string(), Json::Num(value));
+    }
+
+    /// Attaches a free-form JSON section (e.g. the neutron-balance
+    /// report) to the artifact.
+    pub fn set_section(&mut self, name: &str, value: Json) {
+        self.sections.insert(name.to_string(), value);
+    }
+
+    /// Seconds spent in a span path, 0 if absent.
+    pub fn span_seconds(&self, path: &str) -> f64 {
+        self.spans.get(path).map(|s| s.total_s).unwrap_or(0.0)
+    }
+
+    /// Counter value, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn to_json(&self) -> Json {
+        let meta = self.meta.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::Uint(s.count)),
+                        ("total_s".into(), Json::Num(s.total_s)),
+                        ("min_s".into(), Json::Num(s.min_s)),
+                        ("max_s".into(), Json::Num(s.max_s)),
+                    ]),
+                )
+            })
+            .collect();
+        let counters = self.counters.iter().map(|(k, &v)| (k.clone(), Json::Uint(v))).collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, g)| {
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        ("last".into(), Json::Num(g.last)),
+                        ("high_water".into(), Json::Num(g.high_water)),
+                    ]),
+                )
+            })
+            .collect();
+        let sections = self.sections.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        Json::Obj(vec![
+            ("meta".into(), Json::Obj(meta)),
+            ("spans".into(), Json::Obj(spans)),
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+            ("sections".into(), Json::Obj(sections)),
+        ])
+    }
+
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
+    /// Parses a report previously produced by [`Self::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<Self, ParseError> {
+        let doc = parse(text)?;
+        let bad = |message: &str| ParseError { offset: 0, message: message.to_string() };
+        let mut report = RunReport::default();
+        if let Some(Json::Obj(pairs)) = doc.get("meta") {
+            for (k, v) in pairs {
+                report.meta.insert(k.clone(), v.clone());
+            }
+        }
+        if let Some(Json::Obj(pairs)) = doc.get("spans") {
+            for (k, v) in pairs {
+                let field = |name: &str| {
+                    v.get(name)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad(&format!("span {k} missing {name}")))
+                };
+                report.spans.insert(
+                    k.clone(),
+                    SpanStats {
+                        count: v
+                            .get("count")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| bad(&format!("span {k} missing count")))?,
+                        total_s: field("total_s")?,
+                        min_s: field("min_s")?,
+                        max_s: field("max_s")?,
+                    },
+                );
+            }
+        }
+        if let Some(Json::Obj(pairs)) = doc.get("counters") {
+            for (k, v) in pairs {
+                let value = v.as_u64().ok_or_else(|| bad(&format!("counter {k} not unsigned")))?;
+                report.counters.insert(k.clone(), value);
+            }
+        }
+        if let Some(Json::Obj(pairs)) = doc.get("gauges") {
+            for (k, v) in pairs {
+                let field = |name: &str| {
+                    v.get(name)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad(&format!("gauge {k} missing {name}")))
+                };
+                report.gauges.insert(
+                    k.clone(),
+                    GaugeStats { last: field("last")?, high_water: field("high_water")? },
+                );
+            }
+        }
+        if let Some(Json::Obj(pairs)) = doc.get("sections") {
+            for (k, v) in pairs {
+                report.sections.insert(k.clone(), v.clone());
+            }
+        }
+        Ok(report)
+    }
+
+    /// Writes the pretty JSON artifact, creating parent directories.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json_string().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut r = RunReport::default();
+        r.set_meta("case", "c5g7-quickstart");
+        r.set_meta_num("tolerance", 1e-4);
+        r.spans.insert(
+            "eigen/transport_sweep".into(),
+            SpanStats { count: 12, total_s: 3.25, min_s: 0.2, max_s: 0.4 },
+        );
+        r.counters.insert("sweep.segments".into(), 123_456_789_012);
+        r.gauges
+            .insert("device.pool_bytes".into(), GaugeStats { last: 1024.0, high_water: 4096.0 });
+        r.set_section("balance", Json::Obj(vec![("k_balance".into(), Json::Num(1.18))]));
+        r
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = sample_report();
+        let text = r.to_json_string();
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn accessors_default_to_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.span_seconds("missing"), 0.0);
+    }
+
+    #[test]
+    fn span_stats_track_min_max_mean() {
+        let mut s = SpanStats::default();
+        s.record(2.0);
+        s.record(4.0);
+        s.record(3.0);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min_s, 2.0);
+        assert_eq!(s.max_s, 4.0);
+        assert!((s.mean_s() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(RunReport::from_json_str("{").is_err());
+        let text = r#"{"counters": {"neg": -5}}"#;
+        assert!(RunReport::from_json_str(text).is_err());
+    }
+}

@@ -56,10 +56,10 @@ impl ChainSet {
         let state_idx = |t: TrackId, fwd: bool| t.0 as usize * 2 + fwd as usize;
 
         let walk = |start: (TrackId, bool),
-                        closed: bool,
-                        visited: &mut Vec<bool>,
-                        chains: &mut Vec<Chain>,
-                        state_member: &mut Vec<(u32, u32)>| {
+                    closed: bool,
+                    visited: &mut Vec<bool>,
+                    chains: &mut Vec<Chain>,
+                    state_member: &mut Vec<(u32, u32)>| {
             let chain_id = chains.len() as u32;
             let mut members = Vec::new();
             let mut s = 0.0f64;
@@ -93,17 +93,35 @@ impl ChainSet {
         for i in 0..n {
             let tr = &tracks.tracks[i];
             if tr.bwd == Link::Vacuum && !visited[state_idx(TrackId(i as u32), true)] {
-                walk((TrackId(i as u32), true), false, &mut visited, &mut chains, &mut state_member);
+                walk(
+                    (TrackId(i as u32), true),
+                    false,
+                    &mut visited,
+                    &mut chains,
+                    &mut state_member,
+                );
             }
             if tr.fwd == Link::Vacuum && !visited[state_idx(TrackId(i as u32), false)] {
-                walk((TrackId(i as u32), false), false, &mut visited, &mut chains, &mut state_member);
+                walk(
+                    (TrackId(i as u32), false),
+                    false,
+                    &mut visited,
+                    &mut chains,
+                    &mut state_member,
+                );
             }
         }
         // Remaining states belong to closed cycles.
         for i in 0..n {
             for fwd in [true, false] {
                 if !visited[state_idx(TrackId(i as u32), fwd)] {
-                    walk((TrackId(i as u32), fwd), true, &mut visited, &mut chains, &mut state_member);
+                    walk(
+                        (TrackId(i as u32), fwd),
+                        true,
+                        &mut visited,
+                        &mut chains,
+                        &mut state_member,
+                    );
                 }
             }
         }

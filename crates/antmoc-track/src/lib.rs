@@ -77,14 +77,27 @@ pub struct TrackLayout {
 impl TrackLayout {
     /// Generates everything for a geometry and its axial model.
     pub fn generate(geometry: &Geometry, axial: &AxialModel, params: TrackParams) -> Self {
-        let tracks2d = track2d::generate(geometry, params.num_azim, params.radial_spacing);
-        let segments2d = SegmentStore2d::trace(geometry, &tracks2d);
+        let tel = antmoc_telemetry::Telemetry::global();
+        let _gen_span = tel.span("track_generation");
+        let tracks2d = {
+            let _s = tel.span("tracks_2d");
+            track2d::generate(geometry, params.num_azim, params.radial_spacing)
+        };
+        let segments2d = {
+            let _s = tel.span("segments_2d");
+            SegmentStore2d::trace(geometry, &tracks2d)
+        };
         let chains = ChainSet::build(&tracks2d);
         let polar = PolarQuadrature::new(params.polar_type, params.num_polar);
-        let tracks3d =
-            TrackSet3d::build(&tracks2d, &chains, polar, geometry.z_range(), params.axial_spacing);
+        let tracks3d = {
+            let _s = tel.span("tracks_3d");
+            TrackSet3d::build(&tracks2d, &chains, polar, geometry.z_range(), params.axial_spacing)
+        };
         let materials: Vec<_> = geometry.fsrs().map(|f| geometry.fsr_material(f)).collect();
         let fsr3d = Fsr3dMap::new(&materials, axial);
+        tel.counter_add("track.tracks_2d", tracks2d.num_tracks() as u64);
+        tel.counter_add("track.segments_2d", segments2d.num_segments() as u64);
+        tel.counter_add("track.tracks_3d", tracks3d.num_tracks() as u64);
         Self { params, tracks2d, segments2d, chains, tracks3d, fsr3d }
     }
 

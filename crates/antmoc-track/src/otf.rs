@@ -128,6 +128,8 @@ impl SegmentStore3d {
         fsr3d: &Fsr3dMap,
     ) -> Self {
         use rayon::prelude::*;
+        let tel = antmoc_telemetry::Telemetry::global();
+        let _trace_span = tel.span("segments_3d_store");
         let per_track: Vec<Vec<Segment3dCompact>> = selected
             .par_iter()
             .map(|&id| {
@@ -154,7 +156,10 @@ impl SegmentStore3d {
         for (i, id) in selected.iter().enumerate() {
             position[id.0 as usize] = i as u32;
         }
-        Self { segments, offsets, tracks: selected.to_vec(), position }
+        tel.counter_add("otf.segments_stored", segments.len() as u64);
+        let store = Self { segments, offsets, tracks: selected.to_vec(), position };
+        tel.gauge_set("otf.store_bytes", store.bytes() as f64);
+        store
     }
 
     /// Stored segments of a track, or `None` when the track was not
@@ -198,6 +203,7 @@ pub fn count_segments_per_track(
     axial: &AxialModel,
 ) -> Vec<u32> {
     use rayon::prelude::*;
+    let _span = antmoc_telemetry::Telemetry::global().span("otf_count_segments");
     (0..t3.num_tracks() as u32)
         .into_par_iter()
         .map(|i| {
@@ -225,6 +231,7 @@ pub fn estimate_volumes(
     fsr3d: &Fsr3dMap,
 ) -> Vec<f64> {
     use rayon::prelude::*;
+    let _span = antmoc_telemetry::Telemetry::global().span("otf_estimate_volumes");
     let nf = fsr3d.len();
     let chunks: Vec<Vec<f64>> = (0..t3.num_tracks() as u32)
         .into_par_iter()
@@ -295,11 +302,7 @@ mod tests {
             let info = f.t3.info(id, &f.t2, &f.chains);
             let mut total = 0.0;
             trace_3d(&info, f.store2d.of(info.track2d), &f.axial, |_, _, l| total += l);
-            assert!(
-                (total - info.length).abs() < 1e-7,
-                "track {id:?}: {total} vs {}",
-                info.length
-            );
+            assert!((total - info.length).abs() < 1e-7, "track {id:?}: {total} vs {}", info.length);
         }
     }
 
@@ -331,7 +334,8 @@ mod tests {
     fn explicit_store_matches_otf() {
         let f = fixture();
         let all: Vec<Track3dId> = f.t3.ids().collect();
-        let store = SegmentStore3d::trace(&all, &f.t3, &f.t2, &f.chains, &f.store2d, &f.axial, &f.fsr3d);
+        let store =
+            SegmentStore3d::trace(&all, &f.t3, &f.t2, &f.chains, &f.store2d, &f.axial, &f.fsr3d);
         assert_eq!(store.num_tracks(), f.t3.num_tracks());
         for id in f.t3.ids() {
             let stored = store.of(id).unwrap();
@@ -352,7 +356,8 @@ mod tests {
     fn partial_store_returns_none_for_unselected() {
         let f = fixture();
         let some: Vec<Track3dId> = f.t3.ids().step_by(3).collect();
-        let store = SegmentStore3d::trace(&some, &f.t3, &f.t2, &f.chains, &f.store2d, &f.axial, &f.fsr3d);
+        let store =
+            SegmentStore3d::trace(&some, &f.t3, &f.t2, &f.chains, &f.store2d, &f.axial, &f.fsr3d);
         for (i, id) in f.t3.ids().enumerate() {
             assert_eq!(store.of(id).is_some(), i % 3 == 0);
         }
@@ -363,7 +368,8 @@ mod tests {
         let f = fixture();
         let counts = count_segments_per_track(&f.t3, &f.t2, &f.chains, &f.store2d, &f.axial);
         let all: Vec<Track3dId> = f.t3.ids().collect();
-        let store = SegmentStore3d::trace(&all, &f.t3, &f.t2, &f.chains, &f.store2d, &f.axial, &f.fsr3d);
+        let store =
+            SegmentStore3d::trace(&all, &f.t3, &f.t2, &f.chains, &f.store2d, &f.axial, &f.fsr3d);
         let total: u32 = counts.iter().sum();
         assert_eq!(total as usize, store.num_segments());
         for id in f.t3.ids() {
@@ -377,10 +383,7 @@ mod tests {
         let vols = estimate_volumes(&f.t3, &f.t2, &f.chains, &f.store2d, &f.axial, &f.fsr3d);
         let total: f64 = vols.iter().sum();
         let exact = 4.0 * 3.0 * 2.0;
-        assert!(
-            (total - exact).abs() / exact < 0.02,
-            "estimated {total} vs exact {exact}"
-        );
+        assert!((total - exact).abs() / exact < 0.02, "estimated {total} vs exact {exact}");
         // Homogeneous box, uniform axial mesh: all cells of equal height
         // should have nearly equal volumes.
         let per_cell = exact / vols.len() as f64;

@@ -98,7 +98,12 @@ impl SegmentStore2d {
 }
 
 /// Traces a single ray of known length through the geometry.
-pub fn trace_track(geometry: &Geometry, start: (f64, f64), phi: f64, length: f64) -> Vec<Segment2d> {
+pub fn trace_track(
+    geometry: &Geometry,
+    start: (f64, f64),
+    phi: f64,
+    length: f64,
+) -> Vec<Segment2d> {
     let (uy, ux) = phi.sin_cos();
     let mut out = Vec::with_capacity(16);
     let nudge = 1e-9;

@@ -17,8 +17,8 @@
 use std::collections::HashMap;
 use std::f64::consts::PI;
 
-use antmoc_quadrature::AzimuthalQuadrature;
 use antmoc_geom::{Bc, Face, Geometry};
+use antmoc_quadrature::AzimuthalQuadrature;
 
 /// Index of a 2D track.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -105,7 +105,10 @@ fn correct_angle(w: f64, h: f64, phi: f64, spacing: f64) -> Laydown {
 /// between parallel tracks. Linking honours the geometry's radial
 /// boundary conditions.
 pub fn generate(geometry: &Geometry, num_azim: usize, spacing: f64) -> TrackSet2d {
-    assert!(num_azim >= 4 && num_azim.is_multiple_of(4), "num_azim must be a positive multiple of 4");
+    assert!(
+        num_azim >= 4 && num_azim.is_multiple_of(4),
+        "num_azim must be a positive multiple of 4"
+    );
     assert!(spacing > 0.0, "spacing must be positive");
     let (w, h) = geometry.widths();
     let (x0, _x1, y0, _y1) = geometry.bounds();
@@ -164,7 +167,13 @@ pub fn generate(geometry: &Geometry, num_azim: usize, spacing: f64) -> TrackSet2
 
 /// Builds one track from a boundary start point and a direction by
 /// intersecting with the domain box.
-fn make_track(geometry: &Geometry, azim: usize, start: (f64, f64), dir: (f64, f64), phi: f64) -> Track2d {
+fn make_track(
+    geometry: &Geometry,
+    azim: usize,
+    start: (f64, f64),
+    dir: (f64, f64),
+    phi: f64,
+) -> Track2d {
     let (x0, x1, y0, y1) = geometry.bounds();
     // Distance to each face along dir; the nearest positive is the end.
     let mut t_end = f64::INFINITY;
@@ -189,12 +198,7 @@ fn make_track(geometry: &Geometry, azim: usize, start: (f64, f64), dir: (f64, f6
 const KEY_QUANTUM: f64 = 1e-7;
 
 fn key_of(x: f64, y: f64, azim: usize, forward: bool) -> (i64, i64, usize, bool) {
-    (
-        (x / KEY_QUANTUM).round() as i64,
-        (y / KEY_QUANTUM).round() as i64,
-        azim,
-        forward,
-    )
+    ((x / KEY_QUANTUM).round() as i64, (y / KEY_QUANTUM).round() as i64, azim, forward)
 }
 
 /// Which face a boundary point belongs to (ties broken arbitrarily; track
@@ -383,9 +387,7 @@ mod tests {
         for step in 1..=10_000 {
             let t = &set.tracks[cur.0 as usize];
             let link = if fwd { t.fwd } else { t.bwd };
-            let Link::Next { track, forward } = link else {
-                panic!("vacuum in reflective box")
-            };
+            let Link::Next { track, forward } = link else { panic!("vacuum in reflective box") };
             cur = track;
             fwd = forward;
             if cur == start && fwd {

@@ -207,10 +207,7 @@ impl TrackSet3d {
                                 k_first = k as i32;
                             } else {
                                 // Lattice ranges must be contiguous.
-                                debug_assert_eq!(
-                                    k_first as i64 + members_tracks.len() as i64,
-                                    k
-                                );
+                                debug_assert_eq!(k_first as i64 + members_tracks.len() as i64, k);
                             }
                             members_tracks.push(Track3d {
                                 stack: stacks.len() as u32,
@@ -235,16 +232,7 @@ impl TrackSet3d {
             lattices.push(chain_lat);
         }
 
-        Self {
-            polar,
-            stacks,
-            tracks,
-            chain_stack_base,
-            lattices,
-            z_min,
-            z_max,
-            chain_members,
-        }
+        Self { polar, stacks, tracks, chain_stack_base, lattices, z_min, z_max, chain_members }
     }
 
     /// Total number of 3D tracks (the paper's `N_3D`, Eq. 3).
@@ -494,10 +482,10 @@ mod tests {
                 assert!(z > -1e-7 && z < 2.0 + 1e-7, "z {z} out of [0,2]");
             }
             assert!(info.u_lo >= -1e-12);
-            let member_len =
-                chains.chains[t3.stacks[t3.tracks[id.0 as usize].stack as usize].chain as usize]
-                    .members[t3.stacks[t3.tracks[id.0 as usize].stack as usize].member as usize]
-                    .length;
+            let member_len = chains.chains
+                [t3.stacks[t3.tracks[id.0 as usize].stack as usize].chain as usize]
+                .members[t3.stacks[t3.tracks[id.0 as usize].stack as usize].member as usize]
+                .length;
             assert!(info.u_hi <= member_len + 1e-9);
         }
     }
@@ -532,10 +520,7 @@ mod tests {
                     }
                 }
             }
-            assert!(
-                bad * 20 <= total,
-                "{bad}/{total} non-reciprocal links for {bcs:?}"
-            );
+            assert!(bad * 20 <= total, "{bad}/{total} non-reciprocal links for {bcs:?}");
         }
     }
 
@@ -556,10 +541,7 @@ mod tests {
         // deltas this may occasionally fall outside by one line; allow a
         // tiny leak but not systematic loss.
         let total = t3.num_tracks() * 2;
-        assert!(
-            vacuum * 100 <= total,
-            "{vacuum} vacuum links out of {total} traversals"
-        );
+        assert!(vacuum * 100 <= total, "{vacuum} vacuum links out of {total} traversals");
     }
 
     #[test]
@@ -616,8 +598,7 @@ mod tests {
         let t2 = generate(&g, 8, 0.5);
         let chains = ChainSet::build(&t2);
         let polar = PolarQuadrature::new(PolarType::GaussLegendre, 4);
-        let coarse =
-            TrackSet3d::build(&t2, &chains, polar.clone(), g.z_range(), 1.0).num_tracks();
+        let coarse = TrackSet3d::build(&t2, &chains, polar.clone(), g.z_range(), 1.0).num_tracks();
         let fine = TrackSet3d::build(&t2, &chains, polar, g.z_range(), 0.1).num_tracks();
         assert!(fine > coarse * 5, "coarse {coarse}, fine {fine}");
     }

@@ -188,9 +188,8 @@ pub fn control_rod() -> Material {
     // which preserves the qualitative rodded-core behaviour the extension
     // exercises (documented substitution; see DESIGN.md).
     let gt = guide_tube();
-    let absorption = [
-        1.70490e-03, 8.36224e-03, 8.37901e-02, 3.97797e-01, 6.98763e-01, 9.29508e-01, 1.17836e+00,
-    ];
+    let absorption =
+        [1.70490e-03, 8.36224e-03, 8.37901e-02, 3.97797e-01, 6.98763e-01, 9.29508e-01, 1.17836e+00];
     let mut total = [0.0f64; 7];
     for g in 0..7 {
         total[g] = absorption[g] + gt.scatter_out(g);
@@ -322,12 +321,11 @@ mod tests {
         let water = moderator();
         let f = std::f64::consts::PI * 0.54 * 0.54 / (1.26 * 1.26);
         let g = 7;
-        let total: Vec<f64> = (0..g).map(|i| f * fuel.total[i] + (1.0 - f) * water.total[i]).collect();
+        let total: Vec<f64> =
+            (0..g).map(|i| f * fuel.total[i] + (1.0 - f) * water.total[i]).collect();
         let scatter: Vec<Vec<f64>> = (0..g)
             .map(|i| {
-                (0..g)
-                    .map(|j| f * fuel.scatter[i][j] + (1.0 - f) * water.scatter[i][j])
-                    .collect()
+                (0..g).map(|j| f * fuel.scatter[i][j] + (1.0 - f) * water.scatter[i][j]).collect()
             })
             .collect();
         let nusf: Vec<f64> = (0..g).map(|i| f * fuel.nu_sigma_f(i)).collect();

@@ -26,9 +26,9 @@ mod tests {
     fn c5g7_library_has_seven_materials() {
         let lib = c5g7::library();
         assert_eq!(lib.len(), 7);
-        for name in [
-            "UO2", "MOX-4.3", "MOX-7.0", "MOX-8.7", "fission-chamber", "guide-tube", "moderator",
-        ] {
+        for name in
+            ["UO2", "MOX-4.3", "MOX-7.0", "MOX-8.7", "fission-chamber", "guide-tube", "moderator"]
+        {
             assert!(lib.by_name(name).is_some(), "missing {name}");
         }
     }

@@ -76,7 +76,11 @@ impl Material {
             problems.push(format!("scatter matrix is not {g}x{g}"));
         }
         let neg = |v: &[f64]| v.iter().any(|&x| x < 0.0);
-        if neg(&self.total) || neg(&self.absorption) || neg(&self.fission) || neg(&self.nu) || neg(&self.chi)
+        if neg(&self.total)
+            || neg(&self.absorption)
+            || neg(&self.fission)
+            || neg(&self.nu)
+            || neg(&self.chi)
         {
             problems.push("negative cross-section entry".into());
         }
@@ -130,11 +134,7 @@ impl MaterialLibrary {
             material.name
         );
         let problems = material.validate();
-        assert!(
-            problems.is_empty(),
-            "invalid material {:?}: {problems:?}",
-            material.name
-        );
+        assert!(problems.is_empty(), "invalid material {:?}: {problems:?}", material.name);
         let id = MaterialId(self.materials.len() as u32);
         self.materials.push(material);
         id
@@ -166,10 +166,7 @@ impl MaterialLibrary {
 
     /// Iterate over `(id, material)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (MaterialId, &Material)> {
-        self.materials
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (MaterialId(i as u32), m))
+        self.materials.iter().enumerate().map(|(i, m)| (MaterialId(i as u32), m))
     }
 
     /// Number of groups shared by the materials (panics when empty, asserts

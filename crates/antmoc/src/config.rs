@@ -60,6 +60,10 @@ pub struct RunConfig {
     pub backend: BackendConfig,
     /// Spatial decomposition grid; `(1, 1, 1)` runs single-domain.
     pub decomposition: (usize, usize, usize),
+    /// Extra equilibration sweeps for a post-solve neutron-balance check
+    /// attached to the run artifact; 0 disables it (single-domain CPU
+    /// runs only).
+    pub balance_sweeps: usize,
 }
 
 impl Default for RunConfig {
@@ -71,6 +75,7 @@ impl Default for RunConfig {
             mode: StorageMode::Otf,
             backend: BackendConfig::Cpu,
             decomposition: (1, 1, 1),
+            balance_sweeps: 0,
         }
     }
 }
@@ -131,10 +136,9 @@ impl RunConfig {
         ) -> Result<T, ConfigError> {
             match entry {
                 None => Ok(default),
-                Some((line, v)) => v.parse().map_err(|_| ConfigError {
-                    line,
-                    message: format!("could not parse {v:?}"),
-                }),
+                Some((line, v)) => v
+                    .parse()
+                    .map_err(|_| ConfigError { line, message: format!("could not parse {v:?}") }),
             }
         }
 
@@ -176,7 +180,10 @@ impl RunConfig {
                 "ty" | "tabuchi-yamamoto" => PolarType::TabuchiYamamoto,
                 "equal" => PolarType::EqualWeight,
                 other => {
-                    return Err(ConfigError { line, message: format!("unknown polar type {other:?}") })
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown polar type {other:?}"),
+                    })
                 }
             };
         }
@@ -203,17 +210,20 @@ impl RunConfig {
                 "grid" | "grid-stride" => CuMapping::GridStride,
                 "sorted" | "l3" => CuMapping::SegmentSorted,
                 other => {
-                    return Err(ConfigError { line, message: format!("unknown cu mapping {other:?}") })
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown cu mapping {other:?}"),
+                    })
                 }
             },
         };
+        cfg.balance_sweeps = parse_num(get("solver", "balance_sweeps"), cfg.balance_sweeps)?;
         if let Some((line, v)) = get("solver", "backend") {
             cfg.backend = match v.to_lowercase().as_str() {
                 "cpu" => BackendConfig::Cpu,
-                "device" | "gpu" => BackendConfig::Device {
-                    memory_bytes: device_mb << 20,
-                    cu_mapping: mapping,
-                },
+                "device" | "gpu" => {
+                    BackendConfig::Device { memory_bytes: device_mb << 20, cu_mapping: mapping }
+                }
                 other => {
                     return Err(ConfigError { line, message: format!("unknown backend {other:?}") })
                 }

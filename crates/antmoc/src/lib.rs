@@ -23,21 +23,24 @@
 //! println!("k_eff = {:.5}", report.keff);
 //! ```
 
+pub mod artifact;
 pub mod config;
 pub mod output;
 pub mod pipeline;
 
+pub use artifact::{run_artifact, write_run_artifact};
 pub use config::{BackendConfig, RunConfig};
 pub use output::PinRates;
 pub use pipeline::{run, RunReport, StageTimings};
 
 // Re-export the building blocks for example/bench authors.
-pub use antmoc_geom as geom;
-pub use antmoc_gpusim as gpusim;
-pub use antmoc_quadrature as quadrature;
-pub use antmoc_solver as solver;
-pub use antmoc_track as track;
-pub use antmoc_xs as xs;
 pub use antmoc_balance as balance;
 pub use antmoc_cluster as cluster;
+pub use antmoc_geom as geom;
+pub use antmoc_gpusim as gpusim;
 pub use antmoc_perfmodel as perfmodel;
+pub use antmoc_quadrature as quadrature;
+pub use antmoc_solver as solver;
+pub use antmoc_telemetry as telemetry;
+pub use antmoc_track as track;
+pub use antmoc_xs as xs;

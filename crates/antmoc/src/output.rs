@@ -11,7 +11,7 @@ use antmoc_solver::Problem;
 
 /// Assembly pin-wise fission rates on the 3x3-assembly quarter core,
 /// normalised to mean 1 over fuel pins.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PinRates {
     /// `rates[(assembly, pin)]`; zero-rate pins (guide tubes) included.
     rates: HashMap<PinAddress, f64>,
@@ -58,10 +58,7 @@ impl PinRates {
 
     /// Rate of one pin (0 when never recorded, e.g. guide tubes).
     pub fn get(&self, assembly: (usize, usize), pin: (usize, usize)) -> f64 {
-        self.rates
-            .get(&PinAddress { assembly, pin })
-            .copied()
-            .unwrap_or(0.0)
+        self.rates.get(&PinAddress { assembly, pin }).copied().unwrap_or(0.0)
     }
 
     /// Mean over non-zero pins (1.0 after normalisation).
@@ -180,12 +177,7 @@ impl PinRates {
     /// per pin).
     pub fn ascii_heatmap(&self) -> String {
         let grid = self.grid();
-        let max = grid
-            .iter()
-            .flat_map(|r| r.iter())
-            .cloned()
-            .fold(0.0f64, f64::max)
-            .max(1e-12);
+        let max = grid.iter().flat_map(|r| r.iter()).cloned().fold(0.0f64, f64::max).max(1e-12);
         let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
         let mut out = String::new();
         for row in grid.iter().rev() {

@@ -46,12 +46,34 @@ pub struct RunReport {
 
 /// Runs the full pipeline for a configuration.
 pub fn run(config: &RunConfig) -> RunReport {
+    let tel = antmoc_telemetry::Telemetry::global();
+    let (nx, ny, nz) = config.decomposition;
+    tel.set_meta("case", "c5g7");
+    tel.set_meta(
+        "backend",
+        match &config.backend {
+            BackendConfig::Cpu => "cpu",
+            BackendConfig::Device { .. } => "device",
+        },
+    );
+    tel.set_meta(
+        "mode",
+        match config.mode {
+            StorageMode::Otf => "otf",
+            StorageMode::Explicit => "explicit",
+            StorageMode::Manager { .. } => "manager",
+        },
+    );
+    tel.set_meta_num("decomposition_domains", (nx * ny * nz) as f64);
+
     // Stage 2: geometry construction.
     let t0 = Instant::now();
-    let model = C5g7::build(config.model.clone());
+    let model = {
+        let _s = tel.span("geometry");
+        C5g7::build(config.model.clone())
+    };
     let geometry_s = t0.elapsed().as_secs_f64();
 
-    let (nx, ny, nz) = config.decomposition;
     if nx * ny * nz == 1 {
         run_single(config, model, geometry_s)
     } else {
@@ -60,18 +82,24 @@ pub fn run(config: &RunConfig) -> RunReport {
 }
 
 fn run_single(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
+    let tel = antmoc_telemetry::Telemetry::global();
+
     // Stage 3: track generation and ray tracing.
     let t = Instant::now();
-    let problem = Problem::build(
-        model.geometry.clone(),
-        model.axial.clone(),
-        &model.library,
-        config.tracks.clone(),
-    );
+    let problem = {
+        let _s = tel.span("tracking");
+        Problem::build(
+            model.geometry.clone(),
+            model.axial.clone(),
+            &model.library,
+            config.tracks.clone(),
+        )
+    };
     let tracking_s = t.elapsed().as_secs_f64();
 
     // Stage 4: transport solving.
     let t = Instant::now();
+    let transport_span = tel.span("transport");
     let result = match &config.backend {
         BackendConfig::Cpu => {
             let segsrc = match config.mode {
@@ -99,12 +127,28 @@ fn run_single(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
             solve_eigenvalue(&problem, &mut solver, &config.eigen)
         }
     };
+    drop(transport_span);
     let transport_s = t.elapsed().as_secs_f64();
+
+    if config.balance_sweeps > 0 {
+        // Independent eigenvalue check; lands in the artifact's `balance`
+        // section (OTF segments keep the check backend-agnostic).
+        let balance = antmoc_solver::diagnostics::neutron_balance(
+            &problem,
+            &SegmentSource::otf(),
+            &result.phi,
+            result.keff,
+            config.balance_sweeps,
+        );
+        balance.attach_to_telemetry();
+    }
 
     // Stage 5: output generation.
     let t = Instant::now();
+    let output_span = tel.span("output");
     let rates = fission_rates(&problem, &result.phi);
     let pin_rates = PinRates::aggregate(&model, std::iter::once((&problem, rates.as_slice())));
+    drop(output_span);
     let output_s = t.elapsed().as_secs_f64();
 
     RunReport {
@@ -127,15 +171,19 @@ fn run_single(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
 }
 
 fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
+    let tel = antmoc_telemetry::Telemetry::global();
     let (nx, ny, nz) = config.decomposition;
     let t = Instant::now();
-    let decomp = Decomposition::build(
-        &model.geometry,
-        &model.axial,
-        &model.library,
-        config.tracks.clone(),
-        DecompSpec { nx, ny, nz },
-    );
+    let decomp = {
+        let _s = tel.span("tracking");
+        Decomposition::build(
+            &model.geometry,
+            &model.axial,
+            &model.library,
+            config.tracks.clone(),
+            DecompSpec { nx, ny, nz },
+        )
+    };
     let tracking_s = t.elapsed().as_secs_f64();
 
     let backend = match &config.backend {
@@ -148,16 +196,16 @@ fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport
     };
 
     let t = Instant::now();
-    let result = solve_cluster(&decomp, &backend, &config.eigen);
+    let result = {
+        let _s = tel.span("transport");
+        solve_cluster(&decomp, &backend, &config.eigen)
+    };
     let transport_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
-    let per_rank: Vec<Vec<f64>> = decomp
-        .problems
-        .iter()
-        .zip(&result.phi)
-        .map(|(p, phi)| fission_rates(p, phi))
-        .collect();
+    let _output_span = tel.span("output");
+    let per_rank: Vec<Vec<f64>> =
+        decomp.problems.iter().zip(&result.phi).map(|(p, phi)| fission_rates(p, phi)).collect();
     let pin_rates = PinRates::aggregate(
         &model,
         decomp.problems.iter().zip(per_rank.iter().map(|r| r.as_slice())),

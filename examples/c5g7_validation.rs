@@ -11,7 +11,8 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use antmoc::{run, BackendConfig, RunConfig};
+use antmoc::telemetry::Telemetry;
+use antmoc::{run, write_run_artifact, BackendConfig, RunConfig};
 
 fn main() {
     let fine = std::env::args().any(|a| a == "--fine");
@@ -62,6 +63,8 @@ nz = 2
     );
 
     println!("Solving with the ANT-MOC pipeline (2x2x2 domains, device backend, manager mode)...");
+    // Reset so the artifact describes only the ANT-MOC-engine run.
+    Telemetry::global().reset();
     let antmoc_run = run(&antmoc_cfg);
     println!(
         "  ANT-MOC  : k_eff {:.5} ({} iters, converged {})",
@@ -84,6 +87,10 @@ nz = 2
     antmoc_run.pin_rates.write_vtk(BufWriter::new(vtk)).expect("write vtk");
     println!();
     println!("Wrote fission_rates.csv and fission_rates.vtk (open in ParaView).");
+
+    let path = "results/c5g7_validation_report.json";
+    write_run_artifact(&antmoc_run, path).expect("write telemetry artifact");
+    println!("Wrote {path} (run telemetry for the ANT-MOC engine).");
     println!();
     println!("{}", antmoc_run.pin_rates.ascii_heatmap());
 }

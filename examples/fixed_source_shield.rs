@@ -83,12 +83,12 @@ fn main() {
         &external,
         &FixedSourceOptions { tolerance: 1e-6, max_iterations: 2000, with_fission: false },
     );
-    println!(
-        "converged: {} in {} iterations\n",
-        r.converged, r.iterations
-    );
+    println!("converged: {} in {} iterations\n", r.converged, r.iterations);
 
-    println!("{:>8} {:>12} {:>12} {:>12} {:>14}", "depth cm", "fast (g1)", "epithermal", "thermal (g7)", "thermal/fast");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>14}",
+        "depth cm", "fast (g1)", "epithermal", "thermal (g7)", "thermal/fast"
+    );
     for cell in 0..8 {
         let f = cell; // axial cell 0
         let fast = r.phi[f * g];

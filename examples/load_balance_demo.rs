@@ -15,11 +15,8 @@ use antmoc::track::TrackParams;
 fn main() {
     // Fine reflector meshing concentrates FSRs (hence segments) in the
     // reflector subdomains — the §5.4 imbalance source.
-    let model = C5g7::build(C5g7Options {
-        reflector_refine: 17,
-        axial_dz: 21.42,
-        ..Default::default()
-    });
+    let model =
+        C5g7::build(C5g7Options { reflector_refine: 17, axial_dz: 21.42, ..Default::default() });
     let params = TrackParams {
         num_azim: 16,
         radial_spacing: 1.0,
@@ -37,12 +34,8 @@ fn main() {
 
     // ---- L1: sub-geometries -> nodes ----
     let baseline = l1::block_baseline(loads.len(), nodes, &loads);
-    let balanced = l1::map_subdomains_to_nodes(
-        (spec.nx, spec.ny, spec.nz),
-        &loads,
-        (1.0, 1.0, 1.0),
-        nodes,
-    );
+    let balanced =
+        l1::map_subdomains_to_nodes((spec.nx, spec.ny, spec.nz), &loads, (1.0, 1.0, 1.0), nodes);
     println!("\nL1 (sub-geometry -> node):");
     println!("  no balance : {:.3}", load_uniformity(&baseline.node_loads));
     println!("  graph part : {:.3}", load_uniformity(&balanced.node_loads));
@@ -79,10 +72,7 @@ fn main() {
     let stride = l3::grid_stride(weights.len(), cus);
     let sorted = l3::sorted_round_robin(&weights, cus);
     let bin_load = |assign: &Vec<Vec<u32>>| -> Vec<f64> {
-        assign
-            .iter()
-            .map(|b| b.iter().map(|&i| weights[i as usize] as f64).sum())
-            .collect()
+        assign.iter().map(|b| b.iter().map(|&i| weights[i as usize] as f64).sum()).collect()
     };
     println!("\nL3 (3D tracks -> CUs in one GPU, {cus} CUs):");
     println!("  grid-stride: {:.3}", load_uniformity(&bin_load(&stride)));

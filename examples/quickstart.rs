@@ -4,8 +4,13 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Besides the console summary, the run telemetry (per-phase wall times,
+//! segment/track counters, comm bytes) is written to
+//! `results/quickstart_report.json`.
 
-use antmoc::{run, RunConfig};
+use antmoc::telemetry::Telemetry;
+use antmoc::{run, write_run_artifact, RunConfig};
 
 fn main() {
     // A coarse configuration that converges in well under a minute.
@@ -29,11 +34,13 @@ tolerance = 1e-4
 max_iterations = 600
 mode = otf
 backend = cpu
+balance_sweeps = 40
 "#,
     )
     .expect("config parses");
 
     println!("Running C5G7 3D extension (coarse quickstart resolution)...");
+    Telemetry::global().reset();
     let report = run(&config);
 
     println!();
@@ -54,4 +61,13 @@ backend = cpu
     println!();
     println!("Normalised pin fission-rate map (quarter core, reflective corner bottom-left):");
     println!("{}", report.pin_rates.ascii_heatmap());
+
+    let path = "results/quickstart_report.json";
+    let artifact = write_run_artifact(&report, path).expect("write telemetry artifact");
+    println!(
+        "Wrote {path} ({} span paths, {} counters, {} gauges).",
+        artifact.spans.len(),
+        artifact.counters.len(),
+        artifact.gauges.len()
+    );
 }

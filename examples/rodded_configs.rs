@@ -49,10 +49,7 @@ backend = cpu
             }
             Some(k0) => (1.0 / report.keff - 1.0 / k0) * 1e5,
         };
-        println!(
-            "{label:<12} {:>10.5} {:>12} {:>14.0}",
-            report.keff, report.iterations, worth
-        );
+        println!("{label:<12} {:>10.5} {:>12} {:>14.0}", report.keff, report.iterations, worth);
     }
     println!("\nRods absorb thermal neutrons in the inserted banks: k falls");
     println!("monotonically with insertion depth (positive worth in pcm).");

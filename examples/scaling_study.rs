@@ -52,23 +52,15 @@ fn main() {
         );
         let result = solve_cluster(&decomp, &Backend::CpuSerial, &opts);
         let iters = result.iterations.max(1) as f64;
-        let max_sweep = result
-            .sweep_seconds
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max)
-            / iters;
+        let max_sweep = result.sweep_seconds.iter().cloned().fold(0.0f64, f64::max) / iters;
         let total_tracks: usize = decomp.problems.iter().map(|p| p.num_tracks()).sum();
         let comm_mb: f64 =
             result.traffic.iter().map(|t| t.sent_bytes as f64).sum::<f64>() / (1 << 20) as f64;
-        let segs: Vec<f64> =
-            decomp.problems.iter().map(|p| p.num_3d_segments() as f64).collect();
+        let segs: Vec<f64> = decomp.problems.iter().map(|p| p.num_3d_segments() as f64).collect();
         let total: f64 = segs.iter().sum();
         let max = segs.iter().cloned().fold(0.0f64, f64::max);
         let eff = total / (n as f64 * max);
-        println!(
-            "{n:>6} {total_tracks:>12} {eff:>18.3} {max_sweep:>12.4} {comm_mb:>12.2}"
-        );
+        println!("{n:>6} {total_tracks:>12} {eff:>18.3} {max_sweep:>12.4} {comm_mb:>12.2}");
     }
 
     println!("\nThe no-balance efficiency decay above is spatial load imbalance — the");

@@ -13,7 +13,7 @@ use std::time::Instant;
 use antmoc::geom::c5g7::{C5g7, C5g7Options};
 use antmoc::gpusim::{Device, DeviceSpec};
 use antmoc::solver::device::{CuMapping, DeviceSolver};
-use antmoc::solver::{EigenOptions, Problem, StorageMode, Sweeper, FluxBanks};
+use antmoc::solver::{EigenOptions, FluxBanks, Problem, StorageMode, Sweeper};
 use antmoc::track::TrackParams;
 
 fn main() {
@@ -26,22 +26,15 @@ fn main() {
         ..Default::default()
     };
     println!("Building the problem (C5G7, coarse demo resolution)...");
-    let problem = Problem::build(
-        model.geometry.clone(),
-        model.axial.clone(),
-        &model.library,
-        params,
-    );
-    println!(
-        "  3D tracks: {}   3D segments: {}",
-        problem.num_tracks(),
-        problem.num_3d_segments()
-    );
+    let problem =
+        Problem::build(model.geometry.clone(), model.axial.clone(), &model.library, params);
+    println!("  3D tracks: {}   3D segments: {}", problem.num_tracks(), problem.num_3d_segments());
 
     // Size the device so EXP *barely* fits, then squeeze the manager.
     let probe = Arc::new(Device::new(DeviceSpec::scaled(8 << 30)));
-    let _p = DeviceSolver::new(probe.clone(), &problem, StorageMode::Explicit, CuMapping::SegmentSorted)
-        .expect("probe fits");
+    let _p =
+        DeviceSolver::new(probe.clone(), &problem, StorageMode::Explicit, CuMapping::SegmentSorted)
+            .expect("probe fits");
     let full_bytes = probe.memory().used();
     drop(_p);
     let seg_bytes = full_bytes
@@ -63,13 +56,12 @@ fn main() {
         ("Manager (budget = 1/8 segments)", StorageMode::Manager { budget_bytes: seg_bytes / 8 }),
     ] {
         let device = Arc::new(Device::new(DeviceSpec::scaled(8 << 30)));
-        let mut solver = DeviceSolver::new(device.clone(), &problem, mode, CuMapping::SegmentSorted)
-            .expect("solver setup");
-        let resident = solver
-            .plan
-            .as_ref()
-            .map(|p| p.resident.len())
-            .unwrap_or(if matches!(mode, StorageMode::Explicit) { problem.num_tracks() } else { 0 });
+        let mut solver =
+            DeviceSolver::new(device.clone(), &problem, mode, CuMapping::SegmentSorted)
+                .expect("solver setup");
+        let resident = solver.plan.as_ref().map(|p| p.resident.len()).unwrap_or(
+            if matches!(mode, StorageMode::Explicit) { problem.num_tracks() } else { 0 },
+        );
 
         // Fixed-iteration timing like the paper's §5.3 (10 transport
         // iterations averaged).

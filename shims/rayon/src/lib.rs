@@ -1,0 +1,478 @@
+//! Offline stand-in for the `rayon` API subset this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace routes
+//! its `rayon = { ... }` dependency here. The shim executes data-parallel
+//! chains on `std::thread::scope` with one contiguous chunk per worker —
+//! real parallelism, deterministic chunk order, no work stealing. Only the
+//! adapters the solver/track/gpusim crates actually call are provided;
+//! grow it as call sites grow.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Per-thread worker-count override installed by `ThreadPool::install`.
+    static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Workers the current thread's parallel calls will use.
+pub fn current_num_threads() -> usize {
+    NUM_THREADS_OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Splits `0..n` into at most `current_num_threads()` contiguous ranges.
+fn chunk_ranges(n: usize) -> Vec<Range<usize>> {
+    let workers = current_num_threads().clamp(1, n.max(1));
+    let base = n / workers;
+    let extra = n % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `work` over each chunk range of `0..n`, in parallel when more than
+/// one chunk exists, and returns the per-chunk results in chunk order.
+fn run_chunked<R, F>(n: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(n);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(&work).collect();
+    }
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || work(r))).collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// Indices a parallel range can iterate over.
+pub trait ParIndex: Copy + Send + Sync {
+    fn from_usize(i: usize) -> Self;
+    fn to_usize(self) -> usize;
+}
+
+macro_rules! par_index {
+    ($($t:ty),*) => {$(
+        impl ParIndex for $t {
+            fn from_usize(i: usize) -> Self {
+                i as $t
+            }
+            fn to_usize(self) -> usize {
+                self as usize
+            }
+        }
+    )*};
+}
+par_index!(u32, u64, usize, i32, i64);
+
+/// Entry point mirroring `rayon::iter::IntoParallelIterator` for ranges.
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: ParIndex> IntoParallelIterator for Range<T> {
+    type Iter = RangeParIter<T>;
+    fn into_par_iter(self) -> RangeParIter<T> {
+        RangeParIter {
+            start: self.start.to_usize(),
+            end: self.end.to_usize().max(self.start.to_usize()),
+            _idx: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A parallel iterator over an index range.
+pub struct RangeParIter<T> {
+    start: usize,
+    end: usize,
+    _idx: std::marker::PhantomData<T>,
+}
+
+impl<T: ParIndex> RangeParIter<T> {
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn idx(&self, offset: usize) -> T {
+        T::from_usize(self.start + offset)
+    }
+
+    pub fn map<R, F>(self, f: F) -> RangeMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        RangeMap { range: self, f }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let n = self.len();
+        run_chunked(n, |r| {
+            for i in r {
+                f(self.idx(i));
+            }
+        });
+    }
+
+    /// Per-chunk fold mirroring rayon's `fold`: each worker chunk builds
+    /// one accumulator; downstream `map`/`reduce`/`collect` consume the
+    /// per-chunk accumulators.
+    pub fn fold<Acc, Init, F>(self, init: Init, fold: F) -> FoldResult<Acc>
+    where
+        Acc: Send,
+        Init: Fn() -> Acc + Sync,
+        F: Fn(Acc, T) -> Acc + Sync,
+    {
+        let n = self.len();
+        let accs = run_chunked(n, |r| {
+            let mut acc = init();
+            for i in r {
+                acc = fold(acc, self.idx(i));
+            }
+            acc
+        });
+        FoldResult { accs }
+    }
+}
+
+/// A mapped parallel range, ready for a terminal operation.
+pub struct RangeMap<T, F> {
+    range: RangeParIter<T>,
+    f: F,
+}
+
+impl<T, R, F> RangeMap<T, F>
+where
+    T: ParIndex,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let n = self.range.len();
+        let parts = run_chunked(n, |r| r.map(|i| (self.f)(self.range.idx(i))).collect::<Vec<R>>());
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        C::from(out)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R> + std::iter::Sum<S> + Send,
+    {
+        let n = self.range.len();
+        let parts = run_chunked(n, |r| r.map(|i| (self.f)(self.range.idx(i))).sum::<S>());
+        parts.into_iter().sum()
+    }
+}
+
+/// The per-chunk accumulators produced by `fold`.
+pub struct FoldResult<Acc> {
+    accs: Vec<Acc>,
+}
+
+impl<Acc: Send> FoldResult<Acc> {
+    pub fn map<R, F>(self, f: F) -> FoldResult<R>
+    where
+        F: Fn(Acc) -> R,
+    {
+        FoldResult { accs: self.accs.into_iter().map(f).collect() }
+    }
+
+    pub fn reduce<Id, F>(self, identity: Id, reduce: F) -> Acc
+    where
+        Id: Fn() -> Acc,
+        F: Fn(Acc, Acc) -> Acc,
+    {
+        self.accs.into_iter().fold(identity(), reduce)
+    }
+
+    pub fn collect<C: From<Vec<Acc>>>(self) -> C {
+        C::from(self.accs)
+    }
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    fn par_iter(&'a self) -> SliceParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> SliceParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> SliceMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        SliceMap { slice: self.slice, f }
+    }
+
+    pub fn enumerate(self) -> SliceEnumerate<'a, T> {
+        SliceEnumerate { slice: self.slice }
+    }
+}
+
+/// A mapped slice iterator.
+pub struct SliceMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> SliceMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let parts = run_chunked(self.slice.len(), |r| {
+            self.slice[r].iter().map(&self.f).collect::<Vec<R>>()
+        });
+        let mut out = Vec::with_capacity(self.slice.len());
+        for p in parts {
+            out.extend(p);
+        }
+        C::from(out)
+    }
+}
+
+/// An enumerated slice iterator.
+pub struct SliceEnumerate<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> SliceEnumerate<'a, T> {
+    pub fn map<R, F>(self, f: F) -> SliceEnumerateMap<'a, T, F>
+    where
+        F: Fn((usize, &'a T)) -> R + Sync,
+        R: Send,
+    {
+        SliceEnumerateMap { slice: self.slice, f }
+    }
+}
+
+/// A mapped, enumerated slice iterator.
+pub struct SliceEnumerateMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> SliceEnumerateMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'a T)) -> R + Sync,
+{
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let parts = run_chunked(self.slice.len(), |r| {
+            let base = r.start;
+            self.slice[r]
+                .iter()
+                .enumerate()
+                .map(|(k, t)| (self.f)((base + k, t)))
+                .collect::<Vec<R>>()
+        });
+        let mut out = Vec::with_capacity(self.slice.len());
+        for p in parts {
+            out.extend(p);
+        }
+        C::from(out)
+    }
+}
+
+/// Entry point mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutParIter<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutParIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMutParIter { slice: self, chunk_size }
+    }
+}
+
+/// A parallel iterator over disjoint mutable chunks of a slice.
+pub struct ChunksMutParIter<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ChunksMutParIter<'a, T> {
+    pub fn enumerate(self) -> ChunksMutEnumerate<'a, T> {
+        ChunksMutEnumerate { slice: self.slice, chunk_size: self.chunk_size }
+    }
+}
+
+/// An enumerated parallel chunk iterator.
+pub struct ChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> ChunksMutEnumerate<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let size = self.chunk_size;
+        let num_chunks = self.slice.len().div_ceil(size);
+        let ranges = chunk_ranges(num_chunks);
+        if ranges.len() <= 1 {
+            for (k, chunk) in self.slice.chunks_mut(size).enumerate() {
+                f((k, chunk));
+            }
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let mut rest = self.slice;
+            for r in ranges {
+                let elems = ((r.end - r.start) * size).min(rest.len());
+                let (head, tail) = rest.split_at_mut(elems);
+                rest = tail;
+                let base = r.start;
+                s.spawn(move || {
+                    for (k, chunk) in head.chunks_mut(size).enumerate() {
+                        f((base + k, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the worker-count knob.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// Build error kept for signature compatibility; the shim cannot fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" that scopes a worker-count override around a closure.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count governing nested parallel
+    /// calls on the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        NUM_THREADS_OVERRIDE.with(|o| {
+            let prev = o.replace(self.num_threads.or(o.get()));
+            let out = op();
+            o.set(prev);
+            out
+        })
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn fold_map_reduce_matches_serial() {
+        let (count, total) = (0..10_000u32)
+            .into_par_iter()
+            .fold(|| (0u64, 0.0f64), |(c, s), i| (c + 1, s + i as f64))
+            .map(|(c, s)| (c, s))
+            .reduce(|| (0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!(count, 10_000);
+        assert!((total - (9999.0 * 10_000.0 / 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut v = vec![0u32; 1003];
+        v.par_chunks_mut(10).enumerate().for_each(|(k, chunk)| {
+            for x in chunk {
+                *x += k as u32 + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+        assert_eq!(v[0], 1);
+        assert_eq!(v[1000], 101);
+    }
+
+    #[test]
+    fn install_overrides_worker_count() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 1);
+    }
+}

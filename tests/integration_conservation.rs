@@ -94,10 +94,7 @@ fn angular_refinement_converges_keff() {
     }
     let d1 = (ks[1] - ks[0]).abs();
     let d2 = (ks[2] - ks[1]).abs();
-    assert!(
-        d2 < d1 + 5e-4,
-        "refinement did not tighten: ks {ks:?} (d1 {d1}, d2 {d2})"
-    );
+    assert!(d2 < d1 + 5e-4, "refinement did not tighten: ks {ks:?} (d1 {d1}, d2 {d2})");
     // And all values in a sane band (a 4 cm half-height fuel slab leaks
     // heavily; k sits around 0.1).
     for k in &ks {
@@ -137,9 +134,6 @@ fn symmetric_problem_produces_symmetric_flux() {
         }
     }
     for w in profile.windows(2) {
-        assert!(
-            w[1] <= w[0] * 1.01,
-            "axial profile should decay towards vacuum: {profile:?}"
-        );
+        assert!(w[1] <= w[0] * 1.01, "axial profile should decay towards vacuum: {profile:?}");
     }
 }

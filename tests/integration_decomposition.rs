@@ -70,10 +70,7 @@ fn exchange_traffic_is_bounded_by_eq7() {
     let eq7_bound = predict_communication_bytes(n3d, 7) * r.iterations as u64;
     let flux_sent: u64 = r.traffic.iter().map(|t| t.sent_bytes).sum();
     assert!(flux_sent > 0);
-    assert!(
-        flux_sent < eq7_bound,
-        "sent {flux_sent} exceeds the Eq. 7 bound {eq7_bound}"
-    );
+    assert!(flux_sent < eq7_bound, "sent {flux_sent} exceeds the Eq. 7 bound {eq7_bound}");
     // Planned sends * groups * 4 bytes * iterations accounts for almost
     // all traffic (collectives add only scalars).
     let planned: u64 = d.exchanges.iter().map(|e| e.sends.len() as u64).sum();

@@ -31,12 +31,7 @@ fn cpu_and_device_backends_agree() {
         "backend = device\ndevice_memory_mb = 1024\nmode = explicit\ncu_mapping = sorted\n",
     ));
     assert!(dev.converged);
-    assert!(
-        (cpu.keff - dev.keff).abs() < 5e-4,
-        "cpu k {} vs device k {}",
-        cpu.keff,
-        dev.keff
-    );
+    assert!((cpu.keff - dev.keff).abs() < 5e-4, "cpu k {} vs device k {}", cpu.keff, dev.keff);
     // Same tracks, same physics: pin rates nearly identical (f32 segment
     // storage is the only difference).
     let err = cpu.pin_rates.max_relative_error(&dev.pin_rates);
@@ -49,12 +44,7 @@ fn storage_modes_do_not_change_the_answer() {
     let exp = run(&coarse("backend = cpu\nmode = explicit\n"));
     let mgr = run(&coarse("backend = cpu\nmode = manager\nmanager_budget_mb = 1\n"));
     for (label, r) in [("explicit", &exp), ("manager", &mgr)] {
-        assert!(
-            (r.keff - otf.keff).abs() < 5e-4,
-            "{label} k {} vs otf {}",
-            r.keff,
-            otf.keff
-        );
+        assert!((r.keff - otf.keff).abs() < 5e-4, "{label} k {} vs otf {}", r.keff, otf.keff);
     }
 }
 
@@ -113,21 +103,14 @@ fn axial_power_profile_peaks_at_the_reflective_bottom() {
     assert!(r.converged);
     let rates = fission_rates(&problem, &r.phi);
     // Three slabs matching the coarse model's three axial cells.
-    let profile = AxialPowerProfile::aggregate(
-        &model,
-        std::iter::once((&problem, rates.as_slice())),
-        3,
-    );
+    let profile =
+        AxialPowerProfile::aggregate(&model, std::iter::once((&problem, rates.as_slice())), 3);
     assert_eq!(profile.slabs.len(), 3);
     // The top third is the water reflector: no fission there.
     assert!(profile.slabs[2] < 1e-9, "reflector slab has power: {:?}", profile.slabs);
     // Power decays from the reflective midplane (bottom) toward the
     // vacuum top within the fuel.
-    assert!(
-        profile.slabs[0] > profile.slabs[1],
-        "profile not decaying: {:?}",
-        profile.slabs
-    );
+    assert!(profile.slabs[0] > profile.slabs[1], "profile not decaying: {:?}", profile.slabs);
     let mut csv = Vec::new();
     profile.write_csv(&mut csv).unwrap();
     assert_eq!(String::from_utf8(csv).unwrap().lines().count(), 4);
@@ -151,18 +134,12 @@ fn group_spectra_show_reflector_thermalisation() {
     let mut sweeper = CpuSweeper { segsrc: &segsrc };
     let r = solve_eigenvalue(&problem, &mut sweeper, &cfg.eigen);
     assert!(r.converged);
-    let spectra = GroupSpectra::aggregate(
-        &model,
-        std::iter::once((&problem, r.phi.as_slice())),
-    );
+    let spectra = GroupSpectra::aggregate(&model, std::iter::once((&problem, r.phi.as_slice())));
     assert_eq!(spectra.num_groups, 7);
     // Every spectrum is a distribution.
-    for kind in [
-        AssemblyKind::InnerUo2,
-        AssemblyKind::OuterUo2,
-        AssemblyKind::Mox,
-        AssemblyKind::Reflector,
-    ] {
+    for kind in
+        [AssemblyKind::InnerUo2, AssemblyKind::OuterUo2, AssemblyKind::Mox, AssemblyKind::Reflector]
+    {
         let s = spectra.of(kind);
         let total: f64 = s.iter().sum();
         assert!((total - 1.0).abs() < 1e-9, "{kind:?}: {total}");
