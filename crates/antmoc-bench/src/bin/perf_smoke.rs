@@ -92,6 +92,22 @@ fn main() -> ExitCode {
         report.counter("sweep.segments"),
     );
 
+    // Work-stealing scheduler telemetry (recorded only when the sweep ran
+    // on a multi-worker pool; the default pool is sized by
+    // ANTMOC_NUM_THREADS or the machine's core count).
+    if let Some(ratio) = report.gauges.get("sweep.load_ratio") {
+        println!(
+            "perf-smoke: scheduler: {} steals / {} attempts, worker load ratio {:.3} \
+             (high water {:.3})",
+            report.counter("sweep.steals"),
+            report.counter("sweep.steal_attempts"),
+            ratio.last,
+            ratio.high_water,
+        );
+    } else {
+        println!("perf-smoke: scheduler: single-worker pool, no stealing telemetry recorded");
+    }
+
     if write_baseline {
         let baseline = Json::Obj(vec![
             ("case".into(), Json::Str("c5g7-tiny-otf-cpu".into())),

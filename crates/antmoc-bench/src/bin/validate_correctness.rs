@@ -161,7 +161,7 @@ nz = 2
     let serial = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
     let segsrc = SegmentSource::otf();
     let t_cpu = serial.install(|| {
-        let mut sweeper = CpuSweeper { segsrc: &segsrc };
+        let mut sweeper = CpuSweeper::new(&segsrc);
         let t0 = Instant::now();
         let _ = solve_eigenvalue(&problem, &mut sweeper, &opts);
         t0.elapsed().as_secs_f64()

@@ -192,7 +192,7 @@ fn run_rank(
     let sweeper: &mut dyn Sweeper = match backend {
         Backend::Cpu => {
             segsrc_otf = SegmentSource::otf();
-            cpu_sweeper = CpuSweeper { segsrc: &segsrc_otf };
+            cpu_sweeper = CpuSweeper::new(&segsrc_otf);
             &mut cpu_sweeper
         }
         Backend::CpuSerial => {
@@ -329,7 +329,7 @@ mod tests {
         // Single-domain reference.
         let p = Problem::build(g.clone(), axial.clone(), &lib, params());
         let segsrc = SegmentSource::otf();
-        let mut sweeper = CpuSweeper { segsrc: &segsrc };
+        let mut sweeper = CpuSweeper::new(&segsrc);
         let reference = solve_eigenvalue(&p, &mut sweeper, &opts);
         assert!(reference.converged);
 
@@ -359,7 +359,7 @@ mod tests {
         let opts = EigenOptions { tolerance: 5e-5, max_iterations: 2500, ..Default::default() };
         let p = Problem::build(g.clone(), axial.clone(), &lib, params());
         let segsrc = SegmentSource::otf();
-        let mut sweeper = CpuSweeper { segsrc: &segsrc };
+        let mut sweeper = CpuSweeper::new(&segsrc);
         let reference = solve_eigenvalue(&p, &mut sweeper, &opts);
 
         let d =

@@ -206,7 +206,7 @@ mod tests {
         let opts = EigenOptions { tolerance: 5e-5, max_iterations: 2500, ..Default::default() };
 
         let segsrc = SegmentSource::otf();
-        let mut cpu = CpuSweeper { segsrc: &segsrc };
+        let mut cpu = CpuSweeper::new(&segsrc);
         let r_cpu = solve_eigenvalue(&p, &mut cpu, &opts);
 
         for (mode, mapping) in [

@@ -129,7 +129,7 @@ mod tests {
         };
         let p = crate::problem::Problem::build(g, axial, &lib, params);
         let segsrc = SegmentSource::otf();
-        let mut sweeper = CpuSweeper { segsrc: &segsrc };
+        let mut sweeper = CpuSweeper::new(&segsrc);
         let opts = EigenOptions { tolerance: 3e-5, max_iterations: 2500, ..Default::default() };
         let r = solve_eigenvalue(&p, &mut sweeper, &opts);
         assert!(r.converged);

@@ -7,6 +7,7 @@
 //! RMS residual drops below tolerance (Fig. 2's transport-solving stage).
 
 use crate::problem::Problem;
+use crate::schedule::SweepSchedule;
 use crate::source::{
     compute_reduced_source, fission_production, fission_rms_residual, update_scalar_flux,
 };
@@ -55,12 +56,25 @@ pub trait Sweeper {
 
 /// The plain CPU sweeper.
 pub struct CpuSweeper<'a> {
-    pub segsrc: &'a SegmentSource,
+    segsrc: &'a SegmentSource,
+    schedule: SweepSchedule,
+}
+
+impl<'a> CpuSweeper<'a> {
+    /// A sweeper dispatching tracks in natural order.
+    pub fn new(segsrc: &'a SegmentSource) -> Self {
+        Self { segsrc, schedule: SweepSchedule::natural() }
+    }
+
+    /// A sweeper dispatching tracks in the order given by `schedule`.
+    pub fn with_schedule(segsrc: &'a SegmentSource, schedule: SweepSchedule) -> Self {
+        Self { segsrc, schedule }
+    }
 }
 
 impl Sweeper for CpuSweeper<'_> {
     fn sweep(&mut self, problem: &Problem, q: &[f64], banks: &FluxBanks) -> SweepOutcome {
-        crate::sweep::transport_sweep(problem, self.segsrc, q, banks)
+        crate::sweep::transport_sweep_scheduled(problem, self.segsrc, q, banks, &self.schedule)
     }
 }
 
@@ -159,7 +173,7 @@ mod tests {
         };
         let p = Problem::build(g, axial, lib, params);
         let segsrc = SegmentSource::otf();
-        let mut sweeper = CpuSweeper { segsrc: &segsrc };
+        let mut sweeper = CpuSweeper::new(&segsrc);
         solve_eigenvalue(
             &p,
             &mut sweeper,

@@ -158,7 +158,7 @@ mod tests {
             external[f * g] = 1.0; // unit fast source everywhere
         }
         let segsrc = SegmentSource::otf();
-        let mut sweeper = CpuSweeper { segsrc: &segsrc };
+        let mut sweeper = CpuSweeper::new(&segsrc);
         let r = solve_fixed_source(
             &p,
             &mut sweeper,
@@ -208,9 +208,9 @@ mod tests {
         let segsrc = SegmentSource::otf();
         let opts =
             FixedSourceOptions { tolerance: 1e-7, max_iterations: 3000, with_fission: false };
-        let mut s1 = CpuSweeper { segsrc: &segsrc };
+        let mut s1 = CpuSweeper::new(&segsrc);
         let bare = solve_fixed_source(&p, &mut s1, &external, &opts);
-        let mut s2 = CpuSweeper { segsrc: &segsrc };
+        let mut s2 = CpuSweeper::new(&segsrc);
         let mult = solve_fixed_source(
             &p,
             &mut s2,
@@ -229,7 +229,7 @@ mod tests {
         let p = problem("moderator", BoundaryConds::vacuum());
         let external = vec![0.0; p.num_fsrs() * p.num_groups()];
         let segsrc = SegmentSource::otf();
-        let mut sweeper = CpuSweeper { segsrc: &segsrc };
+        let mut sweeper = CpuSweeper::new(&segsrc);
         let _ = solve_fixed_source(&p, &mut sweeper, &external, &Default::default());
     }
 }

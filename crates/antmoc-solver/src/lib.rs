@@ -27,11 +27,13 @@ pub mod exptable;
 pub mod fixed;
 pub mod manager;
 pub mod problem;
+pub mod schedule;
 pub mod solver2d;
 pub mod source;
 pub mod sweep;
 
 pub use eigen::{solve_eigenvalue, CpuSweeper, EigenOptions, EigenResult, Sweeper};
 pub use problem::{Problem, SweepTrack, XsData};
+pub use schedule::{ScheduleKind, SweepSchedule};
 pub use source::{fission_production, fission_rates};
 pub use sweep::{FluxBanks, SegmentSource, StorageMode, SweepOutcome};

@@ -1,0 +1,162 @@
+//! Sweep dispatch schedules: the order track indices are handed to the
+//! work-stealing scheduler.
+//!
+//! The paper's L3 mapping (§4.2.3) assigns 3D tracks to CUs by descending
+//! segment count because per-track work is wildly non-uniform. The same
+//! argument applies to CPU workers: [`ScheduleKind::L3Sorted`] reuses
+//! `antmoc_balance::l3::sorted_round_robin` over the per-track segment
+//! counts and lays the bins out so the scheduler's contiguous seeding
+//! hands worker `w` exactly bin `w` — a pre-balanced start that work
+//! stealing only has to polish. [`ScheduleKind::Natural`] is the identity
+//! order (Algorithm 1's natural mapping).
+
+use antmoc_balance::l3::sorted_round_robin;
+
+use crate::problem::Problem;
+
+/// Which dispatch order a sweep uses (the `[solver] schedule` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleKind {
+    /// Track index order as generated.
+    #[default]
+    Natural,
+    /// Descending-segment-count sort dealt round-robin across workers
+    /// (the paper's L3 mapping applied to the CPU pool).
+    L3Sorted,
+}
+
+/// A resolved dispatch order for one problem: position `i` in the sweep's
+/// parallel iteration executes track `track_at(i)`.
+#[derive(Debug, Clone)]
+pub struct SweepSchedule {
+    kind: ScheduleKind,
+    /// `None` is the identity (natural) order.
+    order: Option<Vec<u32>>,
+}
+
+impl Default for SweepSchedule {
+    fn default() -> Self {
+        Self::natural()
+    }
+}
+
+impl SweepSchedule {
+    /// The identity order.
+    pub fn natural() -> Self {
+        Self { kind: ScheduleKind::Natural, order: None }
+    }
+
+    /// Builds the order for a problem using the current worker count of
+    /// the calling thread's pool.
+    pub fn for_problem(kind: ScheduleKind, problem: &Problem) -> Self {
+        Self::with_workers(kind, problem, rayon::current_num_threads())
+    }
+
+    /// Builds the order for an explicit worker count.
+    pub fn with_workers(kind: ScheduleKind, problem: &Problem, workers: usize) -> Self {
+        match kind {
+            ScheduleKind::Natural => Self::natural(),
+            ScheduleKind::L3Sorted => {
+                let weights: Vec<u64> =
+                    problem.sweep_tracks.iter().map(|t| t.num_segments as u64).collect();
+                let bins = sorted_round_robin(&weights, workers.max(1));
+                // Concatenating the bins aligns them with the scheduler's
+                // contiguous per-worker seeding (bin sizes differ by at
+                // most one, matching its near-even split).
+                Self { kind, order: Some(bins.concat()) }
+            }
+        }
+    }
+
+    pub fn kind(&self) -> ScheduleKind {
+        self.kind
+    }
+
+    /// The track executed at dispatch position `i`.
+    #[inline]
+    pub fn track_at(&self, i: usize) -> u32 {
+        match &self.order {
+            None => i as u32,
+            Some(order) => order[i],
+        }
+    }
+
+    /// Tracks covered by an explicit order (`None` for the identity,
+    /// which covers any count).
+    pub fn explicit_len(&self) -> Option<usize> {
+        self.order.as_ref().map(Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antmoc_geom::geometry::homogeneous_box;
+    use antmoc_geom::{AxialModel, BoundaryConds};
+    use antmoc_track::TrackParams;
+    use antmoc_xs::c5g7;
+
+    fn problem() -> Problem {
+        let lib = c5g7::library();
+        let (uo2, _) = lib.by_name("UO2").unwrap();
+        let g = homogeneous_box(uo2, 3.0, 2.0, (0.0, 2.0), BoundaryConds::vacuum());
+        let axial = AxialModel::uniform(0.0, 2.0, 0.5);
+        let params = TrackParams {
+            num_azim: 4,
+            radial_spacing: 0.5,
+            num_polar: 2,
+            axial_spacing: 0.5,
+            ..Default::default()
+        };
+        Problem::build(g, axial, &lib, params)
+    }
+
+    #[test]
+    fn natural_is_identity() {
+        let s = SweepSchedule::natural();
+        assert_eq!(s.kind(), ScheduleKind::Natural);
+        assert_eq!(s.explicit_len(), None);
+        for i in 0..100 {
+            assert_eq!(s.track_at(i), i as u32);
+        }
+    }
+
+    #[test]
+    fn l3_sorted_is_a_permutation() {
+        let p = problem();
+        for workers in [1, 2, 8] {
+            let s = SweepSchedule::with_workers(ScheduleKind::L3Sorted, &p, workers);
+            assert_eq!(s.explicit_len(), Some(p.num_tracks()));
+            let mut seen = vec![false; p.num_tracks()];
+            for i in 0..p.num_tracks() {
+                let t = s.track_at(i) as usize;
+                assert!(!seen[t], "track {t} dispatched twice (workers={workers})");
+                seen[t] = true;
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn l3_sorted_leads_each_worker_slice_with_heavy_tracks() {
+        let p = problem();
+        let workers = 2;
+        let s = SweepSchedule::with_workers(ScheduleKind::L3Sorted, &p, workers);
+        let heaviest =
+            (0..p.num_tracks()).max_by_key(|&i| p.sweep_tracks[i].num_segments).unwrap() as u32;
+        let max_segs = p.sweep_tracks[heaviest as usize].num_segments;
+        // The first dispatch position of the first bin carries the single
+        // heaviest track (descending sort, round-robin deal).
+        assert_eq!(
+            p.sweep_tracks[s.track_at(0) as usize].num_segments,
+            max_segs,
+            "first dispatched track must be (one of) the heaviest"
+        );
+        // Within each bin the segment counts are non-increasing.
+        let n = p.num_tracks();
+        let bin0 = n.div_ceil(workers);
+        let counts: Vec<u32> =
+            (0..bin0).map(|i| p.sweep_tracks[s.track_at(i) as usize].num_segments).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "bin 0 not descending: {counts:?}");
+    }
+}

@@ -13,10 +13,11 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
-use antmoc_telemetry::Telemetry;
+use antmoc_telemetry::{Json, Telemetry};
 use antmoc_track::{trace_3d, Link3d, SegmentStore3d, Track3dId, Track3dInfo, TrackId};
 
 use crate::problem::Problem;
+use crate::schedule::SweepSchedule;
 
 /// CAS retries taken by [`atomic_add_f64`] since process start. The retry
 /// branch only runs under contention, so the extra relaxed increment is
@@ -335,33 +336,55 @@ pub fn sweep_one_track(
     (segs, leak)
 }
 
-/// A full parallel transport sweep over every track (the reference / CPU
-/// execution; the device solver drives the same kernel through the
-/// simulated GPU).
+/// A full parallel transport sweep over every track in natural dispatch
+/// order (the reference / CPU execution; the device solver drives the
+/// same kernel through the simulated GPU).
 pub fn transport_sweep(
     problem: &Problem,
     segsrc: &SegmentSource,
     q: &[f64],
     banks: &FluxBanks,
 ) -> SweepOutcome {
+    transport_sweep_scheduled(problem, segsrc, q, banks, &SweepSchedule::natural())
+}
+
+/// A full parallel transport sweep dispatching tracks in the order given
+/// by `schedule` (see [`SweepSchedule`]); the work-stealing pool's
+/// region stats land in telemetry when the pool ran multi-threaded.
+pub fn transport_sweep_scheduled(
+    problem: &Problem,
+    segsrc: &SegmentSource,
+    q: &[f64],
+    banks: &FluxBanks,
+    schedule: &SweepSchedule,
+) -> SweepOutcome {
     let tel = Telemetry::global();
     let _sweep_span = tel.span("transport_sweep");
     let retries_before = CAS_RETRIES.load(Ordering::Relaxed);
 
+    let n = problem.num_tracks();
+    if let Some(len) = schedule.explicit_len() {
+        assert_eq!(len, n, "schedule built for a different problem");
+    }
     let nf = problem.num_fsrs() * problem.num_groups();
     let phi_acc: Vec<AtomicU64> = (0..nf).map(|_| AtomicU64::new(0)).collect();
 
-    let (segments, leakage) = (0..problem.num_tracks() as u32)
+    let (segments, leakage) = (0..n)
         .into_par_iter()
         .fold(
             || (Vec::new(), 0u64, 0.0f64),
-            |(mut scratch, segs, leak), t| {
+            |(mut scratch, segs, leak), i| {
+                let t = schedule.track_at(i);
                 let (s, l) = sweep_one_track(problem, segsrc, q, &phi_acc, banks, t, &mut scratch);
                 (scratch, segs + s, leak + l)
             },
         )
         .map(|(_, s, l)| (s, l))
         .reduce(|| (0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
+
+    if let Some(stats) = rayon::take_last_region_stats() {
+        record_scheduler_stats(tel, &stats);
+    }
 
     tel.counter_add("sweep.segments", segments);
     tel.counter_add("sweep.tracks", problem.num_tracks() as u64);
@@ -373,6 +396,33 @@ pub fn transport_sweep(
         leakage,
         segments,
     }
+}
+
+/// Records one sweep's scheduler stats: steal counters, the max/mean
+/// worker load ratio (gauge, high-water retained across sweeps), and a
+/// `sweep_workers` section with the last sweep's per-worker busy time and
+/// item counts. Single-worker regions record **nothing** — a serial pool
+/// neither steals nor balances, and zeroed keys would read as a perfectly
+/// level schedule instead of an unmeasured one.
+pub fn record_scheduler_stats(tel: &Telemetry, stats: &rayon::RegionStats) {
+    if stats.workers <= 1 {
+        return;
+    }
+    tel.counter_add("sweep.steal_attempts", stats.steal_attempts);
+    tel.counter_add("sweep.steals", stats.steals);
+    let mean = stats.busy_s.iter().sum::<f64>() / stats.workers as f64;
+    let max = stats.busy_s.iter().cloned().fold(0.0f64, f64::max);
+    tel.gauge_set("sweep.load_ratio", stats.load_ratio());
+    tel.gauge_set("sweep.worker_busy_max_s", max);
+    tel.gauge_set("sweep.worker_busy_mean_s", mean);
+    tel.set_section(
+        "sweep_workers",
+        Json::Obj(vec![
+            ("workers".into(), Json::Uint(stats.workers as u64)),
+            ("busy_s".into(), Json::Arr(stats.busy_s.iter().map(|&b| Json::Num(b)).collect())),
+            ("items".into(), Json::Arr(stats.items.iter().map(|&i| Json::Uint(i)).collect())),
+        ]),
+    );
 }
 
 #[cfg(test)]
@@ -576,5 +626,95 @@ mod tests {
         for (x, y) in mixed.phi_acc.iter().zip(&pure.phi_acc) {
             assert!((x - y).abs() < 1e-5 * x.abs().max(1.0));
         }
+    }
+
+    #[test]
+    fn l3_schedule_matches_natural_sweep() {
+        use crate::schedule::{ScheduleKind, SweepSchedule};
+        let p = vac_problem();
+        let segsrc = SegmentSource::otf();
+        let q = vec![0.75f64; p.num_fsrs() * p.num_groups()];
+        let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+        let nat = transport_sweep(&p, &segsrc, &q, &banks);
+        for workers in [1, 2, 8] {
+            let sched = SweepSchedule::with_workers(ScheduleKind::L3Sorted, &p, workers);
+            let banks2 = FluxBanks::new(p.num_tracks(), p.num_groups());
+            let l3 = transport_sweep_scheduled(&p, &segsrc, &q, &banks2, &sched);
+            assert_eq!(l3.segments, nat.segments);
+            assert!(
+                (l3.leakage - nat.leakage).abs() <= 1e-10 * nat.leakage.abs().max(1.0),
+                "leakage {} vs {} (workers={workers})",
+                l3.leakage,
+                nat.leakage
+            );
+            for (x, y) in l3.phi_acc.iter().zip(&nat.phi_acc) {
+                assert!((x - y).abs() <= 1e-10 * x.abs().max(1.0), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_region_records_no_scheduler_keys() {
+        // A serial pool neither steals nor balances; recording zeros would
+        // fake a perfectly level schedule. The keys must be absent.
+        let tel = Telemetry::new();
+        let stats = rayon::RegionStats {
+            workers: 1,
+            busy_s: vec![0.5],
+            items: vec![100],
+            steal_attempts: 0,
+            steals: 0,
+        };
+        record_scheduler_stats(&tel, &stats);
+        let r = tel.report();
+        assert!(!r.counters.contains_key("sweep.steal_attempts"));
+        assert!(!r.counters.contains_key("sweep.steals"));
+        assert!(!r.gauges.contains_key("sweep.load_ratio"));
+        assert!(!r.gauges.contains_key("sweep.worker_busy_max_s"));
+        assert!(!r.gauges.contains_key("sweep.worker_busy_mean_s"));
+        assert!(!r.sections.contains_key("sweep_workers"));
+    }
+
+    #[test]
+    fn multi_worker_region_records_scheduler_keys() {
+        let tel = Telemetry::new();
+        let stats = rayon::RegionStats {
+            workers: 2,
+            busy_s: vec![0.3, 0.1],
+            items: vec![60, 40],
+            steal_attempts: 5,
+            steals: 3,
+        };
+        record_scheduler_stats(&tel, &stats);
+        let r = tel.report();
+        assert_eq!(r.counter("sweep.steal_attempts"), 5);
+        assert_eq!(r.counter("sweep.steals"), 3);
+        assert!((r.gauges["sweep.load_ratio"].last - 1.5).abs() < 1e-12);
+        assert!((r.gauges["sweep.worker_busy_max_s"].last - 0.3).abs() < 1e-12);
+        assert!((r.gauges["sweep.worker_busy_mean_s"].last - 0.2).abs() < 1e-12);
+        assert!(r.sections.contains_key("sweep_workers"));
+    }
+
+    #[test]
+    fn scheduled_sweep_records_stats_only_when_parallel() {
+        // Driven end-to-end through the pool: an explicit 4-worker pool
+        // leaves a multi-worker region behind; the serial path leaves none.
+        let p = vac_problem();
+        let segsrc = SegmentSource::otf();
+        let q = vec![0.5f64; p.num_fsrs() * p.num_groups()];
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+            let _ = transport_sweep(&p, &segsrc, &q, &banks);
+        });
+        // transport_sweep consumed (took) the region stats itself; the
+        // thread-local must now be clear.
+        assert!(rayon::take_last_region_stats().is_none());
+        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool1.install(|| {
+            let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+            let _ = transport_sweep(&p, &segsrc, &q, &banks);
+        });
+        assert!(rayon::take_last_region_stats().is_none());
     }
 }

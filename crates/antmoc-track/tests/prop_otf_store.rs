@@ -1,0 +1,71 @@
+//! Property: the explicit (resident) segment store and on-the-fly tracing
+//! yield *identical* segment sequences per track — same 3D FSR ids, same
+//! f32 lengths — for random `TrackParams` (the §4.1 invariant that lets
+//! the track manager mix both paths in one sweep).
+
+use antmoc_geom::geometry::homogeneous_box;
+use antmoc_geom::{AxialModel, Bc, BoundaryConds};
+use antmoc_quadrature::PolarType;
+use antmoc_track::{trace_3d, SegmentStore3d, Track3dId, TrackLayout, TrackParams};
+use antmoc_xs::MaterialId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn explicit_store_equals_otf_sequences(
+        azim_quads in 1usize..3,     // num_azim = 4 or 8
+        polar_pairs in 1usize..3,    // num_polar = 2 or 4
+        polar_pick in 0u32..3,
+        radial_spacing in 0.3f64..0.9,
+        axial_spacing in 0.3f64..0.9,
+        width in 2.0f64..4.5,
+        depth in 1.0f64..3.0,
+    ) {
+        let params = TrackParams {
+            num_azim: 4 * azim_quads,
+            radial_spacing,
+            num_polar: 2 * polar_pairs,
+            axial_spacing,
+            polar_type: match polar_pick {
+                0 => PolarType::GaussLegendre,
+                1 => PolarType::TabuchiYamamoto,
+                _ => PolarType::EqualWeight,
+            },
+        };
+        let mut bcs = BoundaryConds::reflective();
+        bcs.z_max = Bc::Vacuum;
+        let g = homogeneous_box(MaterialId(0), width, 3.0, (0.0, depth), bcs);
+        let axial = AxialModel::uniform(0.0, depth, (depth / 3.0).max(0.4));
+        let layout = TrackLayout::generate(&g, &axial, params);
+
+        let all: Vec<Track3dId> = layout.tracks3d.ids().collect();
+        let store = SegmentStore3d::trace(
+            &all,
+            &layout.tracks3d,
+            &layout.tracks2d,
+            &layout.chains,
+            &layout.segments2d,
+            &axial,
+            &layout.fsr3d,
+        );
+        prop_assert_eq!(store.num_tracks(), layout.tracks3d.num_tracks());
+
+        for id in layout.tracks3d.ids() {
+            let stored = store.of(id).unwrap();
+            let info = layout.tracks3d.info(id, &layout.tracks2d, &layout.chains);
+            let mut otf: Vec<(u32, f32)> = Vec::new();
+            trace_3d(&info, layout.segments2d.of(info.track2d), &axial, |fsr, cell, len| {
+                otf.push((layout.fsr3d.id(fsr, cell as usize).0, len as f32));
+            });
+            prop_assert_eq!(stored.len(), otf.len(), "track {:?}: segment count differs", id);
+            for (k, (s, (fsr3d, len))) in stored.iter().zip(otf).enumerate() {
+                prop_assert_eq!(s.fsr3d, fsr3d, "track {:?} segment {}: fsr differs", id, k);
+                prop_assert_eq!(
+                    s.length.to_bits(), len.to_bits(),
+                    "track {:?} segment {}: length {} vs {}", id, k, s.length, len
+                );
+            }
+        }
+    }
+}

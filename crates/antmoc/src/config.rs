@@ -27,6 +27,7 @@
 //! backend = device         ; cpu | device
 //! device_memory_mb = 256
 //! cu_mapping = sorted      ; grid | sorted
+//! schedule = natural       ; natural | l3_sorted
 //!
 //! [decomposition]
 //! nx = 2
@@ -40,7 +41,7 @@ use antmoc_geom::c5g7::{C5g7Options, RoddedConfig};
 use antmoc_gpusim::DeviceSpec;
 use antmoc_quadrature::PolarType;
 use antmoc_solver::device::CuMapping;
-use antmoc_solver::{EigenOptions, StorageMode};
+use antmoc_solver::{EigenOptions, ScheduleKind, StorageMode};
 use antmoc_track::TrackParams;
 
 /// Which execution backend runs the sweeps.
@@ -58,6 +59,8 @@ pub struct RunConfig {
     pub eigen: EigenOptions,
     pub mode: StorageMode,
     pub backend: BackendConfig,
+    /// CPU sweep dispatch order (`[solver] schedule`).
+    pub schedule: ScheduleKind,
     /// Spatial decomposition grid; `(1, 1, 1)` runs single-domain.
     pub decomposition: (usize, usize, usize),
     /// Extra equilibration sweeps for a post-solve neutron-balance check
@@ -74,6 +77,7 @@ impl Default for RunConfig {
             eigen: EigenOptions::default(),
             mode: StorageMode::Otf,
             backend: BackendConfig::Cpu,
+            schedule: ScheduleKind::Natural,
             decomposition: (1, 1, 1),
             balance_sweeps: 0,
         }
@@ -218,6 +222,18 @@ impl RunConfig {
             },
         };
         cfg.balance_sweeps = parse_num(get("solver", "balance_sweeps"), cfg.balance_sweeps)?;
+        if let Some((line, v)) = get("solver", "schedule") {
+            cfg.schedule = match v.to_lowercase().as_str() {
+                "natural" => ScheduleKind::Natural,
+                "l3_sorted" | "l3-sorted" | "l3" => ScheduleKind::L3Sorted,
+                other => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown schedule {other:?}"),
+                    })
+                }
+            };
+        }
         if let Some((line, v)) = get("solver", "backend") {
             cfg.backend = match v.to_lowercase().as_str() {
                 "cpu" => BackendConfig::Cpu,
@@ -335,6 +351,16 @@ nz = 2
         assert!(RunConfig::parse("[solver]\nmode = turbo\n").is_err());
         assert!(RunConfig::parse("[model]\nrodded = c\n").is_err());
         assert!(RunConfig::parse("[model]\ncase = bwr\n").is_err());
+    }
+
+    #[test]
+    fn schedule_variants_parse() {
+        let cfg = RunConfig::parse("[solver]\nschedule = l3_sorted\n").unwrap();
+        assert_eq!(cfg.schedule, ScheduleKind::L3Sorted);
+        let cfg = RunConfig::parse("[solver]\nschedule = natural\n").unwrap();
+        assert_eq!(cfg.schedule, ScheduleKind::Natural);
+        assert_eq!(RunConfig::default().schedule, ScheduleKind::Natural);
+        assert!(RunConfig::parse("[solver]\nschedule = zigzag\n").is_err());
     }
 
     #[test]

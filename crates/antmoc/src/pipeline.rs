@@ -11,7 +11,8 @@ use antmoc_solver::cluster::{solve_cluster, Backend};
 use antmoc_solver::decomp::{DecompSpec, Decomposition};
 use antmoc_solver::device::DeviceSolver;
 use antmoc_solver::{
-    fission_rates, solve_eigenvalue, CpuSweeper, Problem, SegmentSource, StorageMode,
+    fission_rates, solve_eigenvalue, CpuSweeper, Problem, ScheduleKind, SegmentSource, StorageMode,
+    SweepSchedule,
 };
 
 use crate::config::{BackendConfig, RunConfig};
@@ -62,6 +63,13 @@ pub fn run(config: &RunConfig) -> RunReport {
             StorageMode::Otf => "otf",
             StorageMode::Explicit => "explicit",
             StorageMode::Manager { .. } => "manager",
+        },
+    );
+    tel.set_meta(
+        "schedule",
+        match config.schedule {
+            ScheduleKind::Natural => "natural",
+            ScheduleKind::L3Sorted => "l3_sorted",
         },
     );
     tel.set_meta_num("decomposition_domains", (nx * ny * nz) as f64);
@@ -117,7 +125,8 @@ fn run_single(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
                     SegmentSource::stored(&problem, &plan.resident)
                 }
             };
-            let mut sweeper = CpuSweeper { segsrc: &segsrc };
+            let schedule = SweepSchedule::for_problem(config.schedule, &problem);
+            let mut sweeper = CpuSweeper::with_schedule(&segsrc, schedule);
             solve_eigenvalue(&problem, &mut sweeper, &config.eigen)
         }
         BackendConfig::Device { memory_bytes, cu_mapping } => {

@@ -76,7 +76,7 @@ fn main() {
 
     println!("Water shield, uniform fast source in the first 1 cm:\n");
     let segsrc = SegmentSource::otf();
-    let mut sweeper = CpuSweeper { segsrc: &segsrc };
+    let mut sweeper = CpuSweeper::new(&segsrc);
     let r = solve_fixed_source(
         &problem,
         &mut sweeper,

@@ -4,7 +4,10 @@
 //! `ProptestConfig`, range and tuple strategies, and
 //! `collection::vec`. Sampling is plain uniform draws from a
 //! deterministic xorshift generator seeded by the test name — no
-//! shrinking, no persistence. Failures report the sampled inputs so a
+//! persistence. On failure the runner shrinks by bisection: integer and
+//! float range strategies binary-search between the range start and the
+//! failing value for the smallest value that still fails, tuples shrink
+//! component-wise, and the panic message reports the minimal inputs so a
 //! failing case can be turned into a concrete regression test by hand.
 
 use std::ops::Range;
@@ -75,8 +78,21 @@ use test_runner::TestRng;
 
 /// A source of random values for one macro-generated argument.
 pub trait Strategy {
-    type Value: std::fmt::Debug;
+    type Value: std::fmt::Debug + Clone;
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Shrinks a known-failing `value` towards this strategy's minimum.
+    /// `fails` re-runs the test case: `true` means the candidate still
+    /// fails. Must only return values that fail. The default keeps the
+    /// original value (no shrinking).
+    fn shrink(
+        &self,
+        value: Self::Value,
+        fails: &mut dyn FnMut(&Self::Value) -> bool,
+    ) -> Self::Value {
+        let _ = fails;
+        value
+    }
 }
 
 macro_rules! int_strategy {
@@ -88,6 +104,24 @@ macro_rules! int_strategy {
                 let span = (self.end as u128).wrapping_sub(self.start as u128);
                 (self.start as u128 + (rng.next_u64() as u128 % span)) as $t
             }
+
+            /// Bisects between the range start (smallest candidate) and
+            /// the failing value: if the midpoint fails, the minimum lies
+            /// at or below it; otherwise just above. For a monotone
+            /// failure predicate this lands exactly on the threshold.
+            fn shrink(&self, value: $t, fails: &mut dyn FnMut(&$t) -> bool) -> $t {
+                let mut lo = self.start as i128;
+                let mut hi = value as i128; // known to fail
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if fails(&(mid as $t)) {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                hi as $t
+            }
         }
     )*};
 }
@@ -98,12 +132,48 @@ impl Strategy for Range<f64> {
     fn sample(&self, rng: &mut TestRng) -> f64 {
         self.start + rng.next_f64() * (self.end - self.start)
     }
+
+    /// Bounded-iteration bisection towards the range start; returns the
+    /// smallest probed value that still fails.
+    fn shrink(&self, value: f64, fails: &mut dyn FnMut(&f64) -> bool) -> f64 {
+        let mut lo = self.start;
+        let mut hi = value; // known to fail
+        for _ in 0..128 {
+            let mid = lo + (hi - lo) / 2.0;
+            if mid == lo || mid == hi {
+                break;
+            }
+            if fails(&mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
 }
 
 impl Strategy for Range<f32> {
     type Value = f32;
     fn sample(&self, rng: &mut TestRng) -> f32 {
         self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+
+    fn shrink(&self, value: f32, fails: &mut dyn FnMut(&f32) -> bool) -> f32 {
+        let mut lo = self.start;
+        let mut hi = value;
+        for _ in 0..64 {
+            let mid = lo + (hi - lo) / 2.0;
+            if mid == lo || mid == hi {
+                break;
+            }
+            if fails(&mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
     }
 }
 
@@ -114,6 +184,28 @@ macro_rules! tuple_strategy {
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
             }
+
+            /// Component-wise shrink: each position bisects while the
+            /// others are held at their current (already shrunk) values.
+            fn shrink(
+                &self,
+                value: Self::Value,
+                fails: &mut dyn FnMut(&Self::Value) -> bool,
+            ) -> Self::Value {
+                let mut current = value;
+                $(
+                    {
+                        let comp = current.$idx.clone();
+                        let shrunk = self.$idx.shrink(comp, &mut |c| {
+                            let mut cand = current.clone();
+                            cand.$idx = c.clone();
+                            fails(&cand)
+                        });
+                        current.$idx = shrunk;
+                    }
+                )+
+                current
+            }
         }
     )*};
 }
@@ -122,6 +214,10 @@ tuple_strategy! {
     (A: 0, B: 1)
     (A: 0, B: 1, C: 2)
     (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
 }
 
 pub mod collection {
@@ -150,6 +246,65 @@ pub mod collection {
 pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
     pub use crate::{ProptestConfig, Strategy};
+}
+
+/// The macro-generated test loop: samples cases until `config.cases`
+/// accept, and on the first failure shrinks it by bisection and panics
+/// with the minimal inputs. `run_case` must be re-runnable (the shrinker
+/// probes it repeatedly); `format_inputs` renders a case for the report.
+#[doc(hidden)]
+pub fn __run_cases<S: Strategy>(
+    config: ProptestConfig,
+    name: &str,
+    strategy: S,
+    run_case: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+    format_inputs: impl Fn(&S::Value) -> String,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut accepted: u32 = 0;
+    let mut attempts: u32 = 0;
+    let max_attempts = config.cases.saturating_mul(16).max(1024);
+    while accepted < config.cases {
+        assert!(
+            attempts < max_attempts,
+            "proptest: too many rejected cases ({attempts} attempts for {accepted} accepted)"
+        );
+        attempts += 1;
+        let case = strategy.sample(&mut rng);
+        match run_case(&case) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(first_msg)) => {
+                // Quiet the per-probe panic output while the shrinker
+                // bisects; a probe only re-runs the already-failing body.
+                let hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(|_| {}));
+                let minimal = strategy
+                    .shrink(case, &mut |c| matches!(run_case(c), Err(TestCaseError::Fail(_))));
+                let msg = match run_case(&minimal) {
+                    Err(TestCaseError::Fail(m)) => m,
+                    _ => first_msg,
+                };
+                std::panic::set_hook(hook);
+                panic!(
+                    "proptest case failed: {msg}\n  minimal inputs: {}",
+                    format_inputs(&minimal)
+                );
+            }
+        }
+    }
+}
+
+/// Renders a caught panic payload for the failure report.
+#[doc(hidden)]
+pub fn __panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "test case panicked".to_string()
+    }
 }
 
 #[macro_export]
@@ -209,36 +364,35 @@ macro_rules! __proptest_cases {
         $(
             #[test]
             fn $name() {
-                let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
-                let mut accepted: u32 = 0;
-                let mut attempts: u32 = 0;
-                let max_attempts = config.cases.saturating_mul(16).max(1024);
-                while accepted < config.cases {
-                    assert!(
-                        attempts < max_attempts,
-                        "proptest: too many rejected cases ({attempts} attempts for {} accepted)",
-                        accepted
-                    );
-                    attempts += 1;
-                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
-                    let inputs = format!(
-                        concat!($(stringify!($arg), " = {:?}; "),+),
-                        $(&$arg),+
-                    );
-                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                        (move || {
-                            { $body }
-                            ::std::result::Result::Ok(())
-                        })();
-                    match outcome {
-                        ::std::result::Result::Ok(()) => accepted += 1,
-                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
-                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                            panic!("proptest case failed: {msg}\n  inputs: {inputs}");
+                $crate::__run_cases(
+                    $cfg,
+                    stringify!($name),
+                    ( $( ($strat), )+ ),
+                    // Re-runnable case closure: the shrinker probes
+                    // candidate inputs through it; panics count as
+                    // failures so plain `assert!` bodies shrink too.
+                    |case| {
+                        let ( $($arg,)+ ) = ::std::clone::Clone::clone(case);
+                        match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                { $body }
+                                ::std::result::Result::Ok(())
+                            },
+                        )) {
+                            ::std::result::Result::Ok(r) => r,
+                            ::std::result::Result::Err(p) => ::std::result::Result::Err(
+                                $crate::TestCaseError::Fail($crate::__panic_message(p)),
+                            ),
                         }
-                    }
-                }
+                    },
+                    |case| {
+                        let ( $($arg,)+ ) = ::std::clone::Clone::clone(case);
+                        format!(
+                            concat!($(stringify!($arg), " = {:?}; "),+),
+                            $(&$arg),+
+                        )
+                    },
+                );
             }
         )*
     };
@@ -274,5 +428,90 @@ mod tests {
             prop_assume!(n % 2 == 0);
             prop_assert_eq!(n % 2, 0);
         }
+    }
+
+    #[test]
+    fn integer_shrink_finds_the_known_minimum() {
+        // Monotone predicate: everything at or above 10 fails. Whatever
+        // failing seed the runner stumbled on, bisection must land
+        // exactly on the threshold.
+        let strat = 0u32..1000;
+        for seed in [999u32, 500, 37, 11, 10] {
+            let min = strat.shrink(seed, &mut |x| *x >= 10);
+            assert_eq!(min, 10, "seed {seed} shrank to {min}");
+        }
+    }
+
+    #[test]
+    fn signed_shrink_respects_range_start() {
+        let strat = -50i32..50;
+        // Fails iff x >= -7; the minimum failing value is -7.
+        assert_eq!(strat.shrink(42, &mut |x| *x >= -7), -7);
+        // Everything fails: shrinks all the way to the range start.
+        assert_eq!(strat.shrink(42, &mut |_| true), -50);
+    }
+
+    #[test]
+    fn float_shrink_converges_to_threshold() {
+        let strat = 0.0f64..100.0;
+        let min = strat.shrink(80.0, &mut |x| *x >= 25.0);
+        assert!((min - 25.0).abs() < 1e-9, "shrank to {min}");
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let strat = (0u32..1000, 0u32..1000);
+        // Fails iff a >= 10 && b >= 20; both components must reach their
+        // own thresholds with the other held failing.
+        let min = strat.shrink((700, 900), &mut |(a, b)| *a >= 10 && *b >= 20);
+        assert_eq!(min, (10, 20));
+    }
+
+    #[test]
+    fn runner_reports_minimal_inputs_on_failure() {
+        // Drives the same entry point the proptest! macro expands to, with
+        // a deliberately failing body; the report must carry the shrunken
+        // minimum, not the (much larger) first failing sample.
+        let payload = std::panic::catch_unwind(|| {
+            crate::__run_cases(
+                ProptestConfig::default(),
+                "fails_from_ten",
+                (0u32..1000,),
+                |&(x,)| {
+                    crate::prop_assert!(x < 10, "x too big: {}", x);
+                    Ok(())
+                },
+                |&(x,)| format!("x = {x:?}; "),
+            );
+        })
+        .unwrap_err();
+        let msg = crate::__panic_message(payload);
+        assert!(msg.contains("minimal inputs: x = 10;"), "unexpected message: {msg}");
+        assert!(msg.contains("x too big: 10"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn shrinking_handles_panicking_bodies() {
+        // A body that panics (plain assert!) instead of returning Fail
+        // must still shrink — mirroring the macro's catch_unwind wrapping.
+        let payload = std::panic::catch_unwind(|| {
+            crate::__run_cases(
+                ProptestConfig::default(),
+                "plain_assert_fails",
+                (0i64..100000,),
+                |case| {
+                    let (x,) = *case;
+                    match std::panic::catch_unwind(move || assert!(x < 123, "boom at {x}")) {
+                        Ok(()) => Ok(()),
+                        Err(p) => Err(crate::TestCaseError::Fail(crate::__panic_message(p))),
+                    }
+                },
+                |&(x,)| format!("x = {x:?}; "),
+            );
+        })
+        .unwrap_err();
+        let msg = crate::__panic_message(payload);
+        assert!(msg.contains("minimal inputs: x = 123;"), "unexpected message: {msg}");
+        assert!(msg.contains("boom at 123"), "unexpected message: {msg}");
     }
 }

@@ -2,35 +2,105 @@
 //!
 //! The build environment has no crates.io access, so the workspace routes
 //! its `rayon = { ... }` dependency here. The shim executes data-parallel
-//! chains on `std::thread::scope` with one contiguous chunk per worker —
-//! real parallelism, deterministic chunk order, no work stealing. Only the
-//! adapters the solver/track/gpusim crates actually call are provided;
-//! grow it as call sites grow.
+//! chains on `std::thread::scope` with a real work-stealing scheduler:
+//! every worker owns a LIFO deque of index-range tasks (seeded with a
+//! contiguous slice of the iteration space, split ~[`TASKS_PER_WORKER`]
+//! ways), and an idle worker steals the front half of a random victim's
+//! deque. Per-track work in the sweep is wildly non-uniform, so static
+//! contiguous chunks run at straggler speed; stealing keeps every worker
+//! busy until the global pool of tasks drains.
+//!
+//! Each parallel region records [`RegionStats`] (per-worker busy time and
+//! item counts, steal attempts/successes) retrievable once via
+//! [`take_last_region_stats`] on the calling thread — the solver turns
+//! these into telemetry. Single-worker regions run inline and record
+//! nothing.
+//!
+//! Worker count: `ThreadPool::install` override, else the
+//! `ANTMOC_NUM_THREADS` environment variable, else
+//! `available_parallelism`. Only the adapters the solver/track/gpusim
+//! crates actually call are provided; grow it as call sites grow.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::Deque;
+
+/// Initial tasks dealt to each worker's deque. More tasks than workers
+/// gives thieves something to take without making per-task overhead
+/// visible; 8 keeps the largest task under ~12% of a worker's share.
+const TASKS_PER_WORKER: usize = 8;
 
 thread_local! {
     /// Per-thread worker-count override installed by `ThreadPool::install`.
     static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+
+    /// Stats of the last multi-worker parallel region driven from this
+    /// thread; `None` after a serial region or a `take`.
+    static LAST_REGION: RefCell<Option<RegionStats>> = const { RefCell::new(None) };
 }
 
 /// Workers the current thread's parallel calls will use.
 pub fn current_num_threads() -> usize {
-    NUM_THREADS_OVERRIDE
-        .with(|o| o.get())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    if let Some(n) = NUM_THREADS_OVERRIDE.with(|o| o.get()) {
+        return n;
+    }
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    let from_env = *ENV.get_or_init(|| {
+        std::env::var("ANTMOC_NUM_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0)
+    });
+    from_env.unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
-/// Splits `0..n` into at most `current_num_threads()` contiguous ranges.
-fn chunk_ranges(n: usize) -> Vec<Range<usize>> {
-    let workers = current_num_threads().clamp(1, n.max(1));
-    let base = n / workers;
-    let extra = n % workers;
-    let mut out = Vec::with_capacity(workers);
+/// Scheduler observability for one parallel region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionStats {
+    /// Workers that participated (> 1; serial regions record nothing).
+    pub workers: usize,
+    /// Wall seconds each worker spent executing tasks (not stealing or
+    /// idling), indexed by worker.
+    pub busy_s: Vec<f64>,
+    /// Items each worker executed, indexed by worker.
+    pub items: Vec<u64>,
+    /// Steal attempts across all workers (successful or not).
+    pub steal_attempts: u64,
+    /// Steals that moved at least one task.
+    pub steals: u64,
+}
+
+impl RegionStats {
+    /// Max-over-mean of per-worker busy time — 1.0 is a perfectly level
+    /// schedule; the paper's load-uniformity index at the worker level.
+    pub fn load_ratio(&self) -> f64 {
+        let mean = self.busy_s.iter().sum::<f64>() / self.busy_s.len().max(1) as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        self.busy_s.iter().cloned().fold(0.0f64, f64::max) / mean
+    }
+}
+
+/// Takes (and clears) the stats of the last multi-worker region driven
+/// from this thread. Serial regions leave `None`, so a caller that runs a
+/// parallel region and then takes sees exactly that region's stats or
+/// nothing — never a stale snapshot.
+pub fn take_last_region_stats() -> Option<RegionStats> {
+    LAST_REGION.with(|s| s.borrow_mut().take())
+}
+
+/// Splits `0..n` into at most `parts` non-empty contiguous ranges of
+/// near-equal length, in ascending order.
+fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
     let mut start = 0;
-    for w in 0..workers {
-        let len = base + usize::from(w < extra);
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
         if len == 0 {
             continue;
         }
@@ -40,22 +110,152 @@ fn chunk_ranges(n: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Runs `work` over each chunk range of `0..n`, in parallel when more than
-/// one chunk exists, and returns the per-chunk results in chunk order.
-fn run_chunked<R, F>(n: usize, work: F) -> Vec<R>
+/// Per-worker scratch for the scheduler loop.
+struct WorkerLog {
+    busy: Duration,
+    items: u64,
+    steal_attempts: u64,
+    steals: u64,
+}
+
+/// The work-stealing core. Each worker builds one `S` via `make_state`,
+/// runs `task` over every index range it executes, and returns
+/// `finish(state)`; results come back in worker order. Stats of the
+/// region land in the calling thread's [`take_last_region_stats`] slot
+/// when more than one worker ran (serial regions clear it).
+fn run_stealing<S, R, MS, T, F>(n: usize, make_state: MS, task: T, finish: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    MS: Fn() -> S + Sync,
+    T: Fn(&mut S, Range<usize>) + Sync,
+    F: Fn(S) -> R + Sync,
+{
+    let workers = current_num_threads().clamp(1, n.max(1));
+    if workers <= 1 {
+        LAST_REGION.with(|s| *s.borrow_mut() = None);
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut state = make_state();
+        task(&mut state, 0..n);
+        return vec![finish(state)];
+    }
+
+    // Deal contiguous runs of tasks to the workers so worker w starts on
+    // the w-th contiguous slice of the iteration space (pre-balanced
+    // schedules rely on this alignment), split fine enough to steal.
+    let tasks = split_ranges(n, workers * TASKS_PER_WORKER);
+    let deques: Vec<Deque<Range<usize>>> = (0..workers).map(|_| Deque::new()).collect();
+    for (i, chunk) in split_ranges(tasks.len(), workers).into_iter().enumerate() {
+        // Push in reverse so the owner's LIFO pop yields ascending ranges.
+        for t in tasks[chunk].iter().rev() {
+            deques[i].push(t.clone());
+        }
+    }
+    let remaining = AtomicUsize::new(n);
+
+    let worker_loop = |me: usize| -> (WorkerLog, R) {
+        let mut log = WorkerLog { busy: Duration::ZERO, items: 0, steal_attempts: 0, steals: 0 };
+        let mut state = make_state();
+        // Deterministic xorshift for victim selection, distinct per worker.
+        let mut rng: u64 = (me as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut dry_spins = 0u32;
+        loop {
+            if let Some(range) = deques[me].pop() {
+                dry_spins = 0;
+                let len = range.len();
+                let t0 = Instant::now();
+                task(&mut state, range);
+                log.busy += t0.elapsed();
+                log.items += len as u64;
+                remaining.fetch_sub(len, Ordering::Relaxed);
+                continue;
+            }
+            if remaining.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let victim = {
+                let v = (rng % (workers as u64 - 1)) as usize;
+                if v >= me {
+                    v + 1
+                } else {
+                    v
+                }
+            };
+            log.steal_attempts += 1;
+            let batch = deques[victim].steal_half();
+            if batch.is_empty() {
+                dry_spins += 1;
+                if dry_spins > 64 {
+                    std::thread::sleep(Duration::from_micros(100));
+                } else {
+                    std::thread::yield_now();
+                }
+                continue;
+            }
+            log.steals += 1;
+            dry_spins = 0;
+            // Batch arrives oldest-first; reverse-push keeps LIFO pops
+            // ascending, matching the seeded order.
+            for t in batch.into_iter().rev() {
+                deques[me].push(t);
+            }
+        }
+        (log, finish(state))
+    };
+
+    let mut results: Vec<(WorkerLog, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers).map(|w| s.spawn(move || worker_loop(w))).collect();
+        let mine = worker_loop(0); // the calling thread is worker 0
+        let mut all = vec![mine];
+        all.extend(handles.into_iter().map(|h| h.join().expect("worker panicked")));
+        all
+    });
+
+    let mut stats = RegionStats {
+        workers,
+        busy_s: Vec::with_capacity(workers),
+        items: Vec::with_capacity(workers),
+        steal_attempts: 0,
+        steals: 0,
+    };
+    for (log, _) in &results {
+        stats.busy_s.push(log.busy.as_secs_f64());
+        stats.items.push(log.items);
+        stats.steal_attempts += log.steal_attempts;
+        stats.steals += log.steals;
+    }
+    LAST_REGION.with(|s| *s.borrow_mut() = Some(stats));
+    results.drain(..).map(|(_, r)| r).collect()
+}
+
+/// Runs `work` over contiguous subranges of `0..n` under the
+/// work-stealing scheduler and returns the per-range results in ascending
+/// range order (the concatenation visits every index exactly once, in
+/// order).
+fn run_ordered<R, F>(n: usize, work: F) -> Vec<R>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
-    let ranges = chunk_ranges(n);
-    if ranges.len() <= 1 {
-        return ranges.into_iter().map(&work).collect();
-    }
-    let work = &work;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || work(r))).collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
+    let mut parts = run_stealing(
+        n,
+        Vec::new,
+        |acc: &mut Vec<(usize, R)>, r| {
+            let start = r.start;
+            acc.push((start, work(r)));
+        },
+        |acc| acc,
+    )
+    .into_iter()
+    .flatten()
+    .collect::<Vec<(usize, R)>>();
+    parts.sort_by_key(|(start, _)| *start);
+    parts.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Indices a parallel range can iterate over.
@@ -124,16 +324,22 @@ impl<T: ParIndex> RangeParIter<T> {
         F: Fn(T) + Sync,
     {
         let n = self.len();
-        run_chunked(n, |r| {
-            for i in r {
-                f(self.idx(i));
-            }
-        });
+        run_stealing(
+            n,
+            || (),
+            |_, r| {
+                for i in r {
+                    f(self.idx(i));
+                }
+            },
+            |_| (),
+        );
     }
 
-    /// Per-chunk fold mirroring rayon's `fold`: each worker chunk builds
-    /// one accumulator; downstream `map`/`reduce`/`collect` consume the
-    /// per-chunk accumulators.
+    /// Per-worker fold mirroring rayon's `fold`: each worker builds one
+    /// accumulator across every task it executes (stolen or seeded);
+    /// downstream `map`/`reduce`/`collect` consume the per-worker
+    /// accumulators.
     pub fn fold<Acc, Init, F>(self, init: Init, fold: F) -> FoldResult<Acc>
     where
         Acc: Send,
@@ -141,13 +347,18 @@ impl<T: ParIndex> RangeParIter<T> {
         F: Fn(Acc, T) -> Acc + Sync,
     {
         let n = self.len();
-        let accs = run_chunked(n, |r| {
-            let mut acc = init();
-            for i in r {
-                acc = fold(acc, self.idx(i));
-            }
-            acc
-        });
+        let accs = run_stealing(
+            n,
+            || None::<Acc>,
+            |slot, r| {
+                let mut acc = slot.take().unwrap_or_else(&init);
+                for i in r {
+                    acc = fold(acc, self.idx(i));
+                }
+                *slot = Some(acc);
+            },
+            |slot| slot.unwrap_or_else(&init),
+        );
         FoldResult { accs }
     }
 }
@@ -166,7 +377,7 @@ where
 {
     pub fn collect<C: From<Vec<R>>>(self) -> C {
         let n = self.range.len();
-        let parts = run_chunked(n, |r| r.map(|i| (self.f)(self.range.idx(i))).collect::<Vec<R>>());
+        let parts = run_ordered(n, |r| r.map(|i| (self.f)(self.range.idx(i))).collect::<Vec<R>>());
         let mut out = Vec::with_capacity(n);
         for p in parts {
             out.extend(p);
@@ -179,12 +390,12 @@ where
         S: std::iter::Sum<R> + std::iter::Sum<S> + Send,
     {
         let n = self.range.len();
-        let parts = run_chunked(n, |r| r.map(|i| (self.f)(self.range.idx(i))).sum::<S>());
+        let parts = run_ordered(n, |r| r.map(|i| (self.f)(self.range.idx(i))).sum::<S>());
         parts.into_iter().sum()
     }
 }
 
-/// The per-chunk accumulators produced by `fold`.
+/// The per-worker accumulators produced by `fold`.
 pub struct FoldResult<Acc> {
     accs: Vec<Acc>,
 }
@@ -262,7 +473,7 @@ where
     F: Fn(&'a T) -> R + Sync,
 {
     pub fn collect<C: From<Vec<R>>>(self) -> C {
-        let parts = run_chunked(self.slice.len(), |r| {
+        let parts = run_ordered(self.slice.len(), |r| {
             self.slice[r].iter().map(&self.f).collect::<Vec<R>>()
         });
         let mut out = Vec::with_capacity(self.slice.len());
@@ -301,7 +512,7 @@ where
     F: Fn((usize, &'a T)) -> R + Sync,
 {
     pub fn collect<C: From<Vec<R>>>(self) -> C {
-        let parts = run_chunked(self.slice.len(), |r| {
+        let parts = run_ordered(self.slice.len(), |r| {
             let base = r.start;
             self.slice[r]
                 .iter()
@@ -347,35 +558,38 @@ pub struct ChunksMutEnumerate<'a, T> {
     chunk_size: usize,
 }
 
+/// A `*mut T` the scheduler may share across workers; every chunk index
+/// is executed exactly once, so the mutable windows never alias.
+struct SlicePtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SlicePtr<T> {}
+
 impl<T: Send> ChunksMutEnumerate<'_, T> {
     pub fn for_each<F>(self, f: F)
     where
         F: Fn((usize, &mut [T])) + Sync,
     {
         let size = self.chunk_size;
-        let num_chunks = self.slice.len().div_ceil(size);
-        let ranges = chunk_ranges(num_chunks);
-        if ranges.len() <= 1 {
-            for (k, chunk) in self.slice.chunks_mut(size).enumerate() {
-                f((k, chunk));
-            }
-            return;
-        }
-        let f = &f;
-        std::thread::scope(|s| {
-            let mut rest = self.slice;
-            for r in ranges {
-                let elems = ((r.end - r.start) * size).min(rest.len());
-                let (head, tail) = rest.split_at_mut(elems);
-                rest = tail;
-                let base = r.start;
-                s.spawn(move || {
-                    for (k, chunk) in head.chunks_mut(size).enumerate() {
-                        f((base + k, chunk));
-                    }
-                });
-            }
-        });
+        let len = self.slice.len();
+        let num_chunks = len.div_ceil(size);
+        let ptr = SlicePtr(self.slice.as_mut_ptr());
+        let ptr = &ptr;
+        run_stealing(
+            num_chunks,
+            || (),
+            |_, r| {
+                for k in r {
+                    let lo = k * size;
+                    let hi = (lo + size).min(len);
+                    // SAFETY: the scheduler hands out each chunk index k
+                    // exactly once, and [lo, hi) windows are disjoint
+                    // across distinct k; the borrow of `self.slice` lives
+                    // for the whole region.
+                    let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(lo), hi - lo) };
+                    f((k, chunk));
+                }
+            },
+            |_| (),
+        );
     }
 }
 
@@ -438,11 +652,32 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
 
+    fn pool(n: usize) -> crate::ThreadPool {
+        crate::ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
     #[test]
     fn range_map_collect_preserves_order() {
         let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(v.len(), 1000);
         assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn range_map_collect_preserves_order_under_stealing() {
+        // Skewed work so late ranges finish wildly out of order.
+        pool(8).install(|| {
+            let v: Vec<usize> = (0..5000usize)
+                .into_par_iter()
+                .map(|i| {
+                    if i % 640 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i * 2
+                })
+                .collect();
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+        });
     }
 
     #[test]
@@ -454,6 +689,21 @@ mod tests {
             .reduce(|| (0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
         assert_eq!(count, 10_000);
         assert!((total - (9999.0 * 10_000.0 / 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fold_covers_every_index_once_across_workers() {
+        for workers in [1, 2, 8] {
+            pool(workers).install(|| {
+                let n = 4321u32;
+                let (count, sum) = (0..n)
+                    .into_par_iter()
+                    .fold(|| (0u64, 0u64), |(c, s), i| (c + 1, s + i as u64))
+                    .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+                assert_eq!(count, n as u64, "workers={workers}");
+                assert_eq!(sum, (n as u64 - 1) * n as u64 / 2, "workers={workers}");
+            });
+        }
     }
 
     #[test]
@@ -470,9 +720,67 @@ mod tests {
     }
 
     #[test]
+    fn par_chunks_mut_is_exact_under_stealing() {
+        pool(4).install(|| {
+            let mut v = vec![0u64; 10_000];
+            v.par_chunks_mut(7).enumerate().for_each(|(k, chunk)| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x += (k * 7 + j) as u64;
+                }
+            });
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+        });
+    }
+
+    #[test]
     fn install_overrides_worker_count() {
-        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let inside = pool.install(crate::current_num_threads);
+        let p = pool(1);
+        let inside = p.install(crate::current_num_threads);
         assert_eq!(inside, 1);
+    }
+
+    #[test]
+    fn multi_worker_region_records_stats() {
+        pool(4).install(|| {
+            (0..10_000u32).into_par_iter().for_each(|i| {
+                std::hint::black_box(i);
+            });
+        });
+        let stats = crate::take_last_region_stats().expect("4-worker region records stats");
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.busy_s.len(), 4);
+        assert_eq!(stats.items.iter().sum::<u64>(), 10_000);
+        assert!(stats.load_ratio() >= 1.0);
+        // The take cleared the slot.
+        assert!(crate::take_last_region_stats().is_none());
+    }
+
+    #[test]
+    fn serial_region_records_no_stats() {
+        // Prime the slot with a parallel region, then run serial: the
+        // serial region must clear it, not leave a stale snapshot.
+        pool(2).install(|| (0..100u32).into_par_iter().for_each(|_| {}));
+        assert!(crate::LAST_REGION.with(|s| s.borrow().is_some()));
+        pool(1).install(|| (0..100u32).into_par_iter().for_each(|_| {}));
+        assert!(crate::take_last_region_stats().is_none());
+    }
+
+    #[test]
+    fn skewed_work_is_stolen() {
+        // One seeded slice holds nearly all the work; with stealing the
+        // other workers must end up executing some of it.
+        pool(4).install(|| {
+            (0..1024u32).into_par_iter().for_each(|i| {
+                if i < 256 {
+                    // Worker 0's seeded slice: slow items.
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            });
+        });
+        let stats = crate::take_last_region_stats().unwrap();
+        assert!(stats.steals > 0, "no steals despite skewed work: {stats:?}");
+        // Worker 0 cannot have executed its whole seeded slice alone
+        // while others idled: the max items share must be below 100%.
+        assert!(stats.items.iter().all(|&n| n < 1024));
     }
 }

@@ -37,7 +37,7 @@ fn neutron_balance_holds_in_a_leaky_box() {
     bcs.x_max = Bc::Vacuum;
     let p = fuel_box(bcs, params());
     let segsrc = SegmentSource::otf();
-    let mut sweeper = CpuSweeper { segsrc: &segsrc };
+    let mut sweeper = CpuSweeper::new(&segsrc);
     let opts = EigenOptions { tolerance: 3e-5, max_iterations: 2500, ..Default::default() };
     let r = solve_eigenvalue(&p, &mut sweeper, &opts);
     assert!(r.converged);
@@ -87,7 +87,7 @@ fn angular_refinement_converges_keff() {
             },
         );
         let segsrc = SegmentSource::otf();
-        let mut sweeper = CpuSweeper { segsrc: &segsrc };
+        let mut sweeper = CpuSweeper::new(&segsrc);
         let r = solve_eigenvalue(&p, &mut sweeper, &opts);
         assert!(r.converged, "na={na} np={np} failed to converge");
         ks.push(r.keff);
@@ -113,7 +113,7 @@ fn symmetric_problem_produces_symmetric_flux() {
     let axial = AxialModel::uniform(0.0, 4.0, 1.0);
     let p = Problem::build(g, axial, &lib, params());
     let segsrc = SegmentSource::otf();
-    let mut sweeper = CpuSweeper { segsrc: &segsrc };
+    let mut sweeper = CpuSweeper::new(&segsrc);
     let opts = EigenOptions { tolerance: 3e-5, max_iterations: 2500, ..Default::default() };
     let r = solve_eigenvalue(&p, &mut sweeper, &opts);
     assert!(r.converged);

@@ -98,7 +98,7 @@ fn axial_power_profile_peaks_at_the_reflective_bottom() {
         cfg.tracks.clone(),
     );
     let segsrc = SegmentSource::otf();
-    let mut sweeper = CpuSweeper { segsrc: &segsrc };
+    let mut sweeper = CpuSweeper::new(&segsrc);
     let r = solve_eigenvalue(&problem, &mut sweeper, &cfg.eigen);
     assert!(r.converged);
     let rates = fission_rates(&problem, &r.phi);
@@ -131,7 +131,7 @@ fn group_spectra_show_reflector_thermalisation() {
         cfg.tracks.clone(),
     );
     let segsrc = SegmentSource::otf();
-    let mut sweeper = CpuSweeper { segsrc: &segsrc };
+    let mut sweeper = CpuSweeper::new(&segsrc);
     let r = solve_eigenvalue(&problem, &mut sweeper, &cfg.eigen);
     assert!(r.converged);
     let spectra = GroupSpectra::aggregate(&model, std::iter::once((&problem, r.phi.as_slice())));

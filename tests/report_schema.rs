@@ -1,0 +1,111 @@
+//! Golden-file regression test for the `RunReport` JSON schema.
+//!
+//! A fixed, fully deterministic report — covering every schema feature and
+//! the scheduler telemetry keys (`sweep.steals`, `sweep.load_ratio`,
+//! per-worker busy time) — must serialize byte-for-byte to
+//! `tests/golden/run_report.json`. Renaming or retyping an existing key
+//! changes the output and fails this test; adding a key means
+//! regenerating the golden with `ANTMOC_UPDATE_GOLDEN=1 cargo test -p
+//! antmoc --test report_schema` and reviewing the diff.
+
+use antmoc_telemetry::{GaugeStats, Json, RunReport, SpanStats};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/run_report.json")
+}
+
+/// A report exercising every schema feature with fixed values.
+fn representative_report() -> RunReport {
+    let mut r = RunReport::default();
+    r.set_meta("case", "c5g7");
+    r.set_meta("backend", "cpu");
+    r.set_meta("mode", "otf");
+    r.set_meta("schedule", "l3_sorted");
+    r.set_meta_num("decomposition_domains", 1.0);
+
+    r.spans.insert("eigen".into(), SpanStats { count: 1, total_s: 2.5, min_s: 2.5, max_s: 2.5 });
+    r.spans.insert(
+        "eigen/transport_sweep".into(),
+        SpanStats { count: 8, total_s: 2.0, min_s: 0.125, max_s: 0.5 },
+    );
+    r.spans.insert(
+        "track_generation".into(),
+        SpanStats { count: 1, total_s: 0.25, min_s: 0.25, max_s: 0.25 },
+    );
+
+    r.counters.insert("eigen.iterations".into(), 8);
+    r.counters.insert("sweep.cas_retries".into(), 3);
+    r.counters.insert("sweep.segments".into(), 1_234_567);
+    r.counters.insert("sweep.steal_attempts".into(), 42);
+    r.counters.insert("sweep.steals".into(), 17);
+    r.counters.insert("sweep.tracks".into(), 4096);
+
+    r.gauges
+        .insert("solver.flux_bank_bytes".into(), GaugeStats { last: 65536.0, high_water: 65536.0 });
+    r.gauges.insert("sweep.load_ratio".into(), GaugeStats { last: 1.125, high_water: 1.25 });
+    r.gauges.insert("sweep.worker_busy_max_s".into(), GaugeStats { last: 0.5, high_water: 0.5 });
+    r.gauges.insert("sweep.worker_busy_mean_s".into(), GaugeStats { last: 0.4, high_water: 0.45 });
+
+    r.set_section(
+        "sweep_workers",
+        Json::Obj(vec![
+            ("workers".into(), Json::Uint(4)),
+            (
+                "busy_s".into(),
+                Json::Arr(vec![
+                    Json::Num(0.5),
+                    Json::Num(0.375),
+                    Json::Num(0.375),
+                    Json::Num(0.35),
+                ]),
+            ),
+            (
+                "items".into(),
+                Json::Arr(vec![
+                    Json::Uint(1100),
+                    Json::Uint(1000),
+                    Json::Uint(1000),
+                    Json::Uint(996),
+                ]),
+            ),
+        ]),
+    );
+    r.set_section("balance", Json::Obj(vec![("k_balance".into(), Json::Num(1.18))]));
+    r
+}
+
+#[test]
+fn run_report_schema_matches_golden_file() {
+    let produced = representative_report().to_json_string();
+    let path = golden_path();
+    if std::env::var_os("ANTMOC_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &produced).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        produced, golden,
+        "RunReport JSON schema drifted from tests/golden/run_report.json; \
+         if the change is intentional, regenerate with ANTMOC_UPDATE_GOLDEN=1 \
+         and review the diff"
+    );
+}
+
+#[test]
+fn golden_file_round_trips_losslessly() {
+    let golden = std::fs::read_to_string(golden_path()).unwrap();
+    let parsed = RunReport::from_json_str(&golden).unwrap();
+    // Textual round-trip: re-serializing the parsed report reproduces the
+    // golden bytes (the parser reads non-negative ints as Int where the
+    // writer used Uint, so struct equality is too strict for sections).
+    assert_eq!(parsed.to_json_string(), golden);
+    // And the scheduler keys this PR introduces are present by name.
+    assert_eq!(parsed.counter("sweep.steals"), 17);
+    assert_eq!(parsed.counter("sweep.steal_attempts"), 42);
+    assert!(parsed.gauges.contains_key("sweep.load_ratio"));
+    assert!(parsed.gauges.contains_key("sweep.worker_busy_max_s"));
+    assert!(parsed.gauges.contains_key("sweep.worker_busy_mean_s"));
+    assert!(parsed.sections.contains_key("sweep_workers"));
+}
