@@ -15,6 +15,16 @@ use crate::traffic::{Traffic, TrafficCounters};
 /// always a bug, not load.
 const RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// A blocking receive gave up waiting: no message with the requested tag
+/// arrived from `from` within the deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvTimeout {
+    /// Source rank the receive was posted against.
+    pub from: usize,
+    /// Tag the receive was matching on.
+    pub tag: u32,
+}
+
 /// An in-flight message: tag, payload, accounted size.
 struct Message {
     tag: u32,
@@ -74,18 +84,34 @@ impl Comm {
     /// Blocking receive of the next message from `from` with `tag`.
     /// Messages with other tags from the same source are buffered.
     pub fn recv<T: 'static>(&mut self, from: usize, tag: u32) -> T {
+        self.recv_deadline(from, tag, RECV_TIMEOUT).unwrap_or_else(|_| {
+            panic!("rank {}: timed out waiting for tag {tag} from rank {from}", self.rank)
+        })
+    }
+
+    /// Blocking receive with an explicit timeout. Fault-tolerant callers
+    /// (the `FaultyComm` decorator) surface the timeout as a typed error
+    /// instead of the deadlock panic of [`Comm::recv`].
+    pub fn recv_deadline<T: 'static>(
+        &mut self,
+        from: usize,
+        tag: u32,
+        timeout: Duration,
+    ) -> Result<T, RecvTimeout> {
         assert!(from < self.size, "recv from rank {from} of {}", self.size);
         // Check the reorder buffer first.
         if let Some(pos) = self.pending[from].iter().position(|m| m.tag == tag) {
             let msg = self.pending[from].remove(pos).unwrap();
-            return self.unpack(msg);
+            return Ok(self.unpack(msg));
         }
+        let deadline = std::time::Instant::now() + timeout;
         loop {
-            let msg = self.receivers[from].recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
-                panic!("rank {}: timed out waiting for tag {tag} from rank {from}", self.rank)
-            });
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let Ok(msg) = self.receivers[from].recv_timeout(remaining) else {
+                return Err(RecvTimeout { from, tag });
+            };
             if msg.tag == tag {
-                return self.unpack(msg);
+                return Ok(self.unpack(msg));
             }
             self.pending[from].push_back(msg);
         }

@@ -1,0 +1,516 @@
+//! Seeded fault injection for the simulated cluster.
+//!
+//! At the scale of the paper's headline runs (4,000 nodes, §5) rank loss
+//! and link-level corruption are routine, so the cluster substrate must
+//! degrade gracefully instead of assuming every send succeeds. This
+//! module provides:
+//!
+//! * [`FaultPlan`] — a deterministic, seeded schedule of message drops,
+//!   payload bit-flips, and rank deaths. Every decision is a pure hash of
+//!   `(seed, rank, op index, attempt)`, so a failure observed once can be
+//!   replayed exactly from the seed alone, on any machine, with any
+//!   worker count.
+//! * [`FaultyComm`] — a decorator over [`Comm`] that consults the plan
+//!   before each transmission. Drops and detected corruptions are
+//!   retried locally with exponential backoff up to a bounded attempt
+//!   budget; exhaustion and receive timeouts surface as typed
+//!   [`CommError`]s instead of panics, counted in telemetry
+//!   (`comm.retries`, `comm.dropped`, `comm.flipped`).
+//!
+//! Faults model *sender-side detected* transmission failures (a link
+//! error or checksum mismatch caught before handoff), so a payload that
+//! is delivered is always intact: injection perturbs timing and control
+//! flow, never the numerics of messages that arrive. A zero plan (no
+//! drops, no flips, no deaths) delegates every call straight to the
+//! undecorated [`Comm`] path, bit for bit.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use antmoc_telemetry::Telemetry;
+
+use crate::comm::Comm;
+
+/// Upper bound on one backoff sleep, so a deep retry chain cannot stall
+/// a rank for longer than the failure detector would take to notice.
+const MAX_BACKOFF: Duration = Duration::from_millis(20);
+
+/// A scheduled rank death: the rank stops participating at the start of
+/// the given solver iteration (1-based, matching the eigenvalue loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankDeath {
+    /// Rank that dies.
+    pub rank: usize,
+    /// Iteration at whose start the rank stops responding.
+    pub iteration: usize,
+}
+
+/// Fault-injection parameters. All probabilities are per transmission
+/// attempt; determinism comes from `seed` (see [`FaultPlan`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the fault schedule. Same seed, same faults — always.
+    pub seed: u64,
+    /// Probability a transmission attempt is dropped outright.
+    pub drop_p: f64,
+    /// Probability a transmission attempt is corrupted in flight (caught
+    /// by the simulated checksum, so it is retried like a drop but
+    /// counted separately as `comm.flipped`).
+    pub flip_p: f64,
+    /// Retries allowed after the first failed attempt before a send
+    /// surfaces [`CommError::SendExhausted`].
+    pub max_retries: u32,
+    /// Base backoff; attempt `k` sleeps `backoff_base * 2^k`, capped.
+    pub backoff_base: Duration,
+    /// How long a fault-tolerant receive waits before reporting
+    /// [`CommError::Timeout`] (a peer presumed dead).
+    pub recv_timeout: Duration,
+    /// Scheduled rank deaths.
+    pub deaths: Vec<RankDeath>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_p: 0.0,
+            flip_p: 0.0,
+            max_retries: 4,
+            backoff_base: Duration::from_micros(50),
+            recv_timeout: Duration::from_secs(60),
+            deaths: Vec::new(),
+        }
+    }
+}
+
+/// A typed communication failure. These replace the panics of the
+/// undecorated [`Comm`] so the solver can unwind a rank cleanly and hand
+/// control to the recovery supervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A send failed on every attempt in its retry budget.
+    SendExhausted {
+        /// Sending rank.
+        rank: usize,
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: u32,
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+    },
+    /// A receive timed out — the peer is presumed dead.
+    Timeout {
+        /// Receiving rank.
+        rank: usize,
+        /// Source rank the receive was posted against.
+        from: usize,
+        /// Message tag.
+        tag: u32,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::SendExhausted { rank, to, tag, attempts } => write!(
+                f,
+                "rank {rank}: send to rank {to} (tag {tag}) failed after {attempts} attempts"
+            ),
+            CommError::Timeout { rank, from, tag } => {
+                write!(f, "rank {rank}: receive from rank {from} (tag {tag}) timed out")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Deterministic fault schedule. Stateless: every query is a pure
+/// function of the seed and the coordinates `(rank, op, attempt)`, where
+/// `op` is the rank's transmission counter. Two runs with the same seed
+/// therefore see byte-identical schedules regardless of thread timing.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+/// Decision salts keep the drop and flip streams independent.
+const SALT_DROP: u64 = 0x1;
+const SALT_FLIP: u64 = 0x2;
+
+impl FaultPlan {
+    /// Builds a plan from its configuration.
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration this plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// True when the plan can never inject anything — the decorator then
+    /// delegates straight to the undecorated comm path.
+    pub fn is_zero(&self) -> bool {
+        self.cfg.drop_p <= 0.0 && self.cfg.flip_p <= 0.0 && self.cfg.deaths.is_empty()
+    }
+
+    /// SplitMix64 over the decision coordinates, mapped to `[0, 1)`.
+    fn unit(&self, rank: usize, op: u64, attempt: u32, salt: u64) -> f64 {
+        let mut z = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((rank as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(op.wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add((attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add(salt.wrapping_mul(0xA076_1D64_78BD_642F));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // 53 mantissa bits give a uniform double in [0, 1).
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Does attempt `attempt` of transmission `op` by `rank` get dropped?
+    pub fn drops(&self, rank: usize, op: u64, attempt: u32) -> bool {
+        self.cfg.drop_p > 0.0 && self.unit(rank, op, attempt, SALT_DROP) < self.cfg.drop_p
+    }
+
+    /// Is attempt `attempt` of transmission `op` by `rank` corrupted?
+    pub fn flips(&self, rank: usize, op: u64, attempt: u32) -> bool {
+        self.cfg.flip_p > 0.0 && self.unit(rank, op, attempt, SALT_FLIP) < self.cfg.flip_p
+    }
+
+    /// The iteration at whose start `rank` dies, if one is scheduled.
+    pub fn death_iteration(&self, rank: usize) -> Option<usize> {
+        self.cfg.deaths.iter().find(|d| d.rank == rank).map(|d| d.iteration)
+    }
+
+    /// Dumps the fault schedule over a coordinate grid as packed decision
+    /// bytes (bit 0 = drop, bit 1 = flip), for byte-identity tests: two
+    /// plans with the same seed must produce identical tables.
+    pub fn schedule_table(&self, ranks: usize, ops: u64, attempts: u32) -> Vec<u8> {
+        let mut table = Vec::with_capacity(ranks * ops as usize * attempts as usize);
+        for rank in 0..ranks {
+            for op in 0..ops {
+                for attempt in 0..attempts {
+                    let mut b = 0u8;
+                    if self.drops(rank, op, attempt) {
+                        b |= 1;
+                    }
+                    if self.flips(rank, op, attempt) {
+                        b |= 2;
+                    }
+                    table.push(b);
+                }
+            }
+        }
+        table
+    }
+}
+
+/// A fault-injecting decorator over [`Comm`]. Mirrors the point-to-point
+/// and collective surface of the inner communicator, but consults the
+/// plan before every transmission and returns typed errors instead of
+/// panicking on exhaustion or timeout.
+pub struct FaultyComm {
+    inner: Comm,
+    plan: Arc<FaultPlan>,
+    /// This rank's transmission counter — the `op` coordinate of the plan.
+    ops: u64,
+    /// Cached `plan.is_zero()`; the zero path must stay bit-identical to
+    /// the undecorated comm, so it skips the counter entirely.
+    zero: bool,
+}
+
+impl FaultyComm {
+    /// Wraps a communicator. With a non-zero plan the fault counters are
+    /// pinned to zero up front so run artifacts always carry them.
+    pub fn new(inner: Comm, plan: Arc<FaultPlan>) -> Self {
+        let zero = plan.is_zero();
+        if !zero {
+            let tel = Telemetry::global();
+            tel.counter_add("comm.retries", 0);
+            tel.counter_add("comm.dropped", 0);
+            tel.counter_add("comm.flipped", 0);
+            tel.counter_add("comm.rank_failures", 0);
+        }
+        Self { inner, plan, ops: 0, zero }
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    /// The fault plan this communicator consults.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Synchronises all ranks (barriers are not fault targets: the
+    /// recovery supervisor only runs them between generations).
+    pub fn barrier(&self) {
+        self.inner.barrier();
+    }
+
+    /// This rank's traffic so far.
+    pub fn traffic(&self) -> crate::traffic::Traffic {
+        self.inner.traffic()
+    }
+
+    /// Runs one transmission through the fault schedule: retries dropped
+    /// or corrupted attempts with exponential backoff until an attempt
+    /// goes through or the budget is spent. Returns `Ok` when the actual
+    /// channel send may proceed.
+    fn admit(&mut self, to: usize, tag: u32) -> Result<(), CommError> {
+        if self.zero {
+            return Ok(());
+        }
+        let op = self.ops;
+        self.ops += 1;
+        let rank = self.inner.rank();
+        let tel = Telemetry::global();
+        let max_retries = self.plan.config().max_retries;
+        for attempt in 0..=max_retries {
+            let dropped = self.plan.drops(rank, op, attempt);
+            let flipped = !dropped && self.plan.flips(rank, op, attempt);
+            if !dropped && !flipped {
+                return Ok(());
+            }
+            tel.counter_add(if dropped { "comm.dropped" } else { "comm.flipped" }, 1);
+            if attempt == max_retries {
+                return Err(CommError::SendExhausted { rank, to, tag, attempts: max_retries + 1 });
+            }
+            tel.counter_add("comm.retries", 1);
+            let backoff = self
+                .plan
+                .config()
+                .backoff_base
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(MAX_BACKOFF);
+            std::thread::sleep(backoff);
+        }
+        unreachable!("retry loop returns on success or exhaustion");
+    }
+
+    /// Sends a vector through the fault schedule.
+    pub fn send_vec<T: Send + 'static>(
+        &mut self,
+        to: usize,
+        tag: u32,
+        value: Vec<T>,
+    ) -> Result<(), CommError> {
+        self.admit(to, tag)?;
+        self.inner.send_vec(to, tag, value);
+        Ok(())
+    }
+
+    /// Sends a `Copy` scalar through the fault schedule.
+    pub fn send_val<T: Copy + Send + 'static>(
+        &mut self,
+        to: usize,
+        tag: u32,
+        value: T,
+    ) -> Result<(), CommError> {
+        self.admit(to, tag)?;
+        self.inner.send_val(to, tag, value);
+        Ok(())
+    }
+
+    /// Blocking receive with the plan's timeout. A timeout means the
+    /// peer is presumed dead; the caller unwinds to the supervisor.
+    pub fn recv<T: 'static>(&mut self, from: usize, tag: u32) -> Result<T, CommError> {
+        let timeout = self.plan.config().recv_timeout;
+        let rank = self.inner.rank();
+        self.inner.recv_deadline(from, tag, timeout).map_err(|t| CommError::Timeout {
+            rank,
+            from: t.from,
+            tag: t.tag,
+        })
+    }
+
+    /// Receive helper for vectors.
+    pub fn recv_vec<T: 'static>(&mut self, from: usize, tag: u32) -> Result<Vec<T>, CommError> {
+        self.recv::<Vec<T>>(from, tag)
+    }
+
+    /// Receive helper for `Copy` scalars.
+    pub fn recv_val<T: Copy + 'static>(&mut self, from: usize, tag: u32) -> Result<T, CommError> {
+        self.recv::<T>(from, tag)
+    }
+
+    /// Gathers one value per rank to every rank, with every hop subject
+    /// to the fault schedule. Zero plans delegate to the inner
+    /// collective unchanged.
+    pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T) -> Result<Vec<T>, CommError> {
+        if self.zero {
+            return Ok(self.inner.allgather(value));
+        }
+        const TAG: u32 = u32::MAX - 2;
+        Telemetry::global().counter_add("comm.allgather_calls", 1);
+        if self.inner.rank() == 0 {
+            let mut all = vec![value];
+            for from in 1..self.inner.size() {
+                all.push(self.recv::<T>(from, TAG)?);
+            }
+            for to in 1..self.inner.size() {
+                self.admit(to, TAG)?;
+                self.inner.send_with_bytes(to, TAG, all.clone(), 0);
+            }
+            Ok(all)
+        } else {
+            self.admit(0, TAG)?;
+            self.inner.send_with_bytes(0, TAG, value, std::mem::size_of::<T>() as u64);
+            self.recv::<Vec<T>>(0, TAG)
+        }
+    }
+
+    /// Sum all-reduce (gather to rank 0, reduce in rank order,
+    /// broadcast), with every hop subject to the fault schedule.
+    pub fn allreduce_sum(&mut self, value: f64) -> Result<f64, CommError> {
+        if self.zero {
+            return Ok(self.inner.allreduce_sum(value));
+        }
+        const TAG: u32 = u32::MAX - 1;
+        Telemetry::global().counter_add("comm.allreduce_calls", 1);
+        if self.inner.rank() == 0 {
+            let mut acc = value;
+            for from in 1..self.inner.size() {
+                let v: f64 = self.recv(from, TAG)?;
+                acc += v;
+            }
+            for to in 1..self.inner.size() {
+                self.send_val(to, TAG, acc)?;
+            }
+            Ok(acc)
+        } else {
+            self.send_val(0, TAG, value)?;
+            self.recv(0, TAG)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cluster;
+
+    fn lossy_config(drop_p: f64) -> FaultConfig {
+        FaultConfig {
+            seed: 42,
+            drop_p,
+            backoff_base: Duration::from_micros(1),
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = FaultPlan::new(lossy_config(0.3));
+        let b = FaultPlan::new(lossy_config(0.3));
+        assert_eq!(a.schedule_table(4, 64, 3), b.schedule_table(4, 64, 3));
+        let c = FaultPlan::new(FaultConfig { seed: 43, ..lossy_config(0.3) });
+        assert_ne!(a.schedule_table(4, 64, 3), c.schedule_table(4, 64, 3));
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::new(lossy_config(0.25));
+        let table = plan.schedule_table(8, 1024, 1);
+        let drops = table.iter().filter(|&&b| b & 1 != 0).count();
+        let rate = drops as f64 / table.len() as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn zero_plan_is_bit_identical_to_undecorated_comm() {
+        // The same micro-program through Comm and through a zero-plan
+        // FaultyComm must produce identical values and traffic.
+        let n = 3;
+        let run_plain = Cluster::run(n, |mut comm| {
+            let me = comm.rank();
+            comm.send_vec((me + 1) % n, 9, vec![me as f64 + 0.125; 16]);
+            let got: Vec<f64> = comm.recv_vec((me + n - 1) % n, 9);
+            let sum = comm.allreduce_sum(got[0]);
+            let all = comm.allgather(me as u32);
+            comm.barrier();
+            (got[0].to_bits(), sum.to_bits(), all, comm.traffic())
+        });
+        let plan = Arc::new(FaultPlan::new(FaultConfig::default()));
+        let run_faulty = Cluster::run(n, |comm| {
+            let mut fc = FaultyComm::new(comm, plan.clone());
+            let me = fc.rank();
+            fc.send_vec((me + 1) % n, 9, vec![me as f64 + 0.125; 16]).unwrap();
+            let got: Vec<f64> = fc.recv_vec((me + n - 1) % n, 9).unwrap();
+            let sum = fc.allreduce_sum(got[0]).unwrap();
+            let all = fc.allgather(me as u32).unwrap();
+            fc.barrier();
+            (got[0].to_bits(), sum.to_bits(), all, fc.traffic())
+        });
+        assert_eq!(run_plain.results, run_faulty.results);
+        assert_eq!(run_plain.traffic, run_faulty.traffic);
+    }
+
+    #[test]
+    fn lossy_sends_retry_and_still_deliver() {
+        // With a moderate drop rate and enough retries, every payload
+        // still arrives intact (delivered payloads are never corrupted).
+        let plan = Arc::new(FaultPlan::new(FaultConfig { max_retries: 16, ..lossy_config(0.3) }));
+        let n = 4;
+        let o = Cluster::run(n, |comm| {
+            let mut fc = FaultyComm::new(comm, plan.clone());
+            let me = fc.rank();
+            for round in 0..20u64 {
+                fc.send_vec((me + 1) % n, 11, vec![me as u64 * 100 + round; 8]).unwrap();
+                let got: Vec<u64> = fc.recv_vec((me + n - 1) % n, 11).unwrap();
+                assert_eq!(got, vec![((me + n - 1) % n) as u64 * 100 + round; 8]);
+            }
+            true
+        });
+        assert!(o.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_typed_error() {
+        // drop_p = 1 with no retries: the very first send fails. The
+        // receive timeout is short so rank 1 notices quickly.
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            max_retries: 0,
+            recv_timeout: Duration::from_millis(250),
+            ..lossy_config(1.0)
+        }));
+        let o = Cluster::run(2, |comm| {
+            let mut fc = FaultyComm::new(comm, plan.clone());
+            if fc.rank() == 0 {
+                fc.send_val(1, 5, 7u32).err()
+            } else {
+                // Rank 1 must not block forever on the dead sender.
+                Some(fc.recv_val::<u32>(0, 5).unwrap_err())
+            }
+        });
+        assert_eq!(
+            o.results[0],
+            Some(CommError::SendExhausted { rank: 0, to: 1, tag: 5, attempts: 1 })
+        );
+        assert!(matches!(o.results[1], Some(CommError::Timeout { from: 0, tag: 5, .. })));
+    }
+
+    #[test]
+    fn death_schedule_lookup() {
+        let plan = FaultPlan::new(FaultConfig {
+            deaths: vec![RankDeath { rank: 1, iteration: 12 }],
+            ..FaultConfig::default()
+        });
+        assert_eq!(plan.death_iteration(1), Some(12));
+        assert_eq!(plan.death_iteration(0), None);
+        assert!(!plan.is_zero());
+    }
+}

@@ -24,9 +24,11 @@
 //! ```
 
 pub mod comm;
+pub mod fault;
 pub mod traffic;
 
-pub use comm::{Cluster, ClusterOutcome, Comm};
+pub use comm::{Cluster, ClusterOutcome, Comm, RecvTimeout};
+pub use fault::{CommError, FaultConfig, FaultPlan, FaultyComm, RankDeath};
 pub use traffic::Traffic;
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! fission-production ratio, normalise, repeat until the fission-source
 //! RMS residual drops below tolerance (Fig. 2's transport-solving stage).
 
+use crate::checkpoint::{CheckpointStore, SolverCheckpoint};
 use crate::problem::Problem;
 use crate::schedule::SweepSchedule;
 use crate::source::{
@@ -84,6 +85,25 @@ pub fn solve_eigenvalue(
     sweeper: &mut dyn Sweeper,
     opts: &EigenOptions,
 ) -> EigenResult {
+    solve_eigenvalue_resumable(problem, sweeper, opts, None, None)
+}
+
+/// Runs the power iteration, optionally resuming from a checkpoint and
+/// optionally writing checkpoints as it goes.
+///
+/// * `resume` — a [`SolverCheckpoint`] to restore flux, fission source,
+///   `k`, and banks from; the loop continues at `resume.iteration + 1`.
+/// * `checkpoint` — `(store, key, every)`: every `every` iterations the
+///   loop state is serialized into `store` under `key`.
+///
+/// With both `None` this is exactly [`solve_eigenvalue`].
+pub fn solve_eigenvalue_resumable(
+    problem: &Problem,
+    sweeper: &mut dyn Sweeper,
+    opts: &EigenOptions,
+    resume: Option<&SolverCheckpoint>,
+    checkpoint: Option<(&CheckpointStore, usize, usize)>,
+) -> EigenResult {
     let tel = antmoc_telemetry::Telemetry::global();
     let _eigen_span = tel.span("eigen");
 
@@ -103,13 +123,23 @@ pub fn solve_eigenvalue(
     }
     let (mut old_density, _) = fission_production(problem, &phi);
 
+    let mut start = 1;
+    if let Some(ck) = resume {
+        assert_eq!(ck.phi.len(), n, "checkpoint flux length mismatch");
+        phi.copy_from_slice(&ck.phi);
+        old_density = ck.fission_source.clone();
+        k = ck.keff;
+        ck.apply_banks(&banks);
+        start = ck.iteration + 1;
+    }
+
     let mut residuals = Vec::new();
     let mut k_history = Vec::new();
     let mut total_segments = 0u64;
     let mut converged = false;
     let mut iterations = 0;
 
-    for it in 1..=opts.max_iterations {
+    for it in start..=opts.max_iterations {
         iterations = it;
         compute_reduced_source(problem, &phi, k, &mut q);
         let out = sweeper.sweep(problem, &q, &banks);
@@ -138,6 +168,12 @@ pub fn solve_eigenvalue(
         }
 
         banks.swap();
+
+        if let Some((store, key, every)) = checkpoint {
+            if every > 0 && it % every == 0 {
+                store.save(key, &SolverCheckpoint::capture(it, k, &phi, &old_density, &banks));
+            }
+        }
 
         // Require a couple of iterations before trusting the residual.
         if it >= 3 && res < opts.tolerance {

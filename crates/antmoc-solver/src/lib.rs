@@ -18,6 +18,7 @@
 //! * [`solver2d`] — a classic 2D MOC solver (the paper's Table 1
 //!   comparison plane and its 3D-vs-2D cost ratio).
 
+pub mod checkpoint;
 pub mod cluster;
 pub mod decomp;
 pub mod device;
@@ -27,13 +28,18 @@ pub mod exptable;
 pub mod fixed;
 pub mod manager;
 pub mod problem;
+pub mod recovery;
 pub mod schedule;
 pub mod solver2d;
 pub mod source;
 pub mod sweep;
 
-pub use eigen::{solve_eigenvalue, CpuSweeper, EigenOptions, EigenResult, Sweeper};
+pub use checkpoint::{BankSnapshot, CheckpointStore, SolverCheckpoint};
+pub use eigen::{
+    solve_eigenvalue, solve_eigenvalue_resumable, CpuSweeper, EigenOptions, EigenResult, Sweeper,
+};
 pub use problem::{Problem, SweepTrack, XsData};
+pub use recovery::{solve_cluster_recovering, RebalanceEvent, RecoveryOptions, RecoveryResult};
 pub use schedule::{ScheduleKind, SweepSchedule};
 pub use source::{fission_production, fission_rates};
 pub use sweep::{FluxBanks, SegmentSource, StorageMode, SweepOutcome};

@@ -1,0 +1,829 @@
+//! Fault-tolerant cluster solve: checkpoint/restart plus
+//! degradation-aware rebalancing.
+//!
+//! [`solve_cluster_recovering`] runs the decomposed eigenvalue problem
+//! in *generations*. Each generation spawns one executor thread per
+//! surviving rank on the simulated cluster; each executor hosts the
+//! subdomains the current assignment gives it and advances the shared
+//! power iteration, exchanging boundary fluxes at subdomain granularity
+//! and checkpointing every N iterations into a shared store (the
+//! in-memory stand-in for a burst buffer / parallel file system). All
+//! communication goes through a [`FaultyComm`], so sends can drop, flip,
+//! and exhaust their retry budget per the seeded [`FaultPlan`].
+//!
+//! When a rank dies — a scheduled death from the plan, or a send whose
+//! retries are exhausted — every executor unwinds cleanly, the
+//! supervisor re-runs the L1 mapping over the survivors
+//! ([`antmoc_balance::rebalance_on_loss`]), redistributes the
+//! sub-geometries, and restarts the iteration from the newest checkpoint
+//! common to all subdomains.
+//!
+//! Global sums (`k_eff` production ratio, residuals) are computed from
+//! per-*subdomain* contributions gathered everywhere and reduced in
+//! subdomain order, so the arithmetic is independent of how subdomains
+//! are packed onto executors. With the serial backend this makes a
+//! recovered run bit-identical to a fault-free one — the foundation of
+//! the 1e-8 recovery gate in `fig_fault_recovery`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use antmoc_balance::rebalance_on_loss;
+use antmoc_cluster::fault::{CommError, FaultConfig, FaultPlan, FaultyComm};
+use antmoc_cluster::{Cluster, Comm};
+use antmoc_gpusim::Device;
+use antmoc_telemetry::{Json, Telemetry};
+
+use crate::checkpoint::{CheckpointStore, SolverCheckpoint};
+use crate::cluster::{Backend, SerialSweeper};
+use crate::decomp::Decomposition;
+use crate::device::DeviceSolver;
+use crate::eigen::{EigenOptions, Sweeper};
+use crate::schedule::{ScheduleKind, SweepSchedule};
+use crate::source::{compute_reduced_source, fission_production, update_scalar_flux};
+use crate::sweep::{transport_sweep_scheduled, FluxBanks, SegmentSource};
+
+/// Controls for the fault-tolerant solve.
+#[derive(Debug, Clone)]
+pub struct RecoveryOptions {
+    /// The fault schedule (a zero config injects nothing).
+    pub fault: FaultConfig,
+    /// Checkpoint every this many iterations (0 disables checkpointing;
+    /// recovery then restarts from scratch).
+    pub checkpoint_interval: usize,
+    /// Sweep dispatch order for the CPU backend.
+    pub schedule: ScheduleKind,
+    /// Rayon workers per executor for the CPU backend (`None` = shared
+    /// default pool).
+    pub workers: Option<usize>,
+    /// How many rank losses to absorb before giving up.
+    pub max_restarts: usize,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        Self {
+            fault: FaultConfig::default(),
+            checkpoint_interval: 10,
+            schedule: ScheduleKind::Natural,
+            workers: None,
+            max_restarts: 4,
+        }
+    }
+}
+
+/// One degradation event: a rank died and the survivors rebalanced.
+#[derive(Debug, Clone)]
+pub struct RebalanceEvent {
+    /// Original rank id (the initial one-rank-per-subdomain numbering).
+    pub died_rank: usize,
+    /// Iteration at which the loss was detected.
+    pub at_iteration: usize,
+    /// Iteration the restarted generation began at.
+    pub restart_iteration: usize,
+    /// Executors remaining after the loss.
+    pub survivors: usize,
+    /// Subdomains whose owner changed in the new L1 mapping.
+    pub migrated: usize,
+    /// Cut weight of the new mapping.
+    pub cut: f64,
+    /// Per-survivor summed load of the new mapping.
+    pub node_loads: Vec<f64>,
+}
+
+/// Outcome of a fault-tolerant solve.
+#[derive(Debug)]
+pub struct RecoveryResult {
+    pub keff: f64,
+    /// Iteration number the solve finished at.
+    pub iterations: usize,
+    /// Iterations actually executed, including work replayed after
+    /// restarts (the cost metric for the ≤ 2x inflation gate).
+    pub total_iterations: usize,
+    pub converged: bool,
+    /// Final scalar flux per *subdomain* (decomposition rank order).
+    pub phi: Vec<Vec<f64>>,
+    /// Residual history of the final generation.
+    pub residuals: Vec<f64>,
+    /// Rank losses absorbed.
+    pub restarts: usize,
+    /// One event per loss.
+    pub rebalances: Vec<RebalanceEvent>,
+    /// Bytes sent across all generations.
+    pub comm_bytes: u64,
+}
+
+/// Exchange tags live above the plain cluster solver's `TAG_FLUX` and
+/// encode the (from, to) subdomain pair, so one executor can route
+/// several subdomains' flux streams over one channel.
+const TAG_PAIR_BASE: u32 = 200;
+
+/// A traversal slot `(track, dir)` paired with its delivery weight.
+type WeightedSlot = ((u32, u8), f32);
+
+/// One grouped flux transfer between a pair of subdomains.
+struct PairSend {
+    from: usize,
+    to: usize,
+    items: Vec<(u32, u8)>,
+}
+
+struct PairRecv {
+    from: usize,
+    to: usize,
+    items: Vec<WeightedSlot>,
+}
+
+/// How one executor's generation ended.
+enum SlotOutcome {
+    Finished {
+        keff: f64,
+        iterations: usize,
+        converged: bool,
+        /// `(subdomain, flux)` for every hosted subdomain.
+        phi: Vec<(usize, Vec<f64>)>,
+        residuals: Vec<f64>,
+        executed: usize,
+    },
+    /// The generation stopped at a scheduled rank death.
+    Interrupted { at_iteration: usize, executed: usize },
+    /// A communication failure (retry exhaustion or peer timeout).
+    Failed { at_iteration: usize, executed: usize, error: CommError },
+}
+
+/// Per-generation context shared by all executor closures.
+struct GenCtx<'a> {
+    decomp: &'a Decomposition,
+    backend: &'a Backend,
+    opts: &'a EigenOptions,
+    rec: &'a RecoveryOptions,
+    plan: Arc<FaultPlan>,
+    store: Arc<CheckpointStore>,
+    /// `assignment[subdomain] = executor slot` for this generation.
+    assignment: Vec<u32>,
+    /// First iteration this generation runs.
+    start_iteration: usize,
+    /// Scheduled death: `(slot, iteration)`. The failure detector is
+    /// modelled as exact and instantaneous at iteration boundaries, so
+    /// every executor observes the death at the same point and unwinds
+    /// without waiting for a timeout.
+    death: Option<(usize, usize)>,
+}
+
+/// Runs the decomposed eigenvalue problem with fault injection,
+/// checkpoint/restart, and degradation-aware rebalancing.
+pub fn solve_cluster_recovering(
+    decomp: &Decomposition,
+    backend: &Backend,
+    opts: &EigenOptions,
+    rec: &RecoveryOptions,
+) -> RecoveryResult {
+    let tel = Telemetry::global();
+    let s = decomp.problems.len();
+    let plan = Arc::new(FaultPlan::new(rec.fault.clone()));
+    let store = Arc::new(CheckpointStore::new());
+
+    let loads: Vec<f64> = decomp.problems.iter().map(|p| p.num_3d_segments() as f64).collect();
+    let dims = (decomp.spec.nx, decomp.spec.ny, decomp.spec.nz);
+
+    // `alive[slot]` is the original rank id an executor slot stands for.
+    let mut alive: Vec<usize> = (0..s).collect();
+    let mut assignment: Vec<u32> = (0..s as u32).collect();
+    let mut death_fired = vec![false; s];
+    let mut start_iteration = 1usize;
+    let mut restarts = 0usize;
+    let mut rebalances: Vec<RebalanceEvent> = Vec::new();
+    let mut total_iterations = 0usize;
+    let mut comm_bytes = 0u64;
+
+    let result = loop {
+        // The earliest unfired scheduled death among the survivors.
+        // Deaths scheduled before this generation's start (possible when
+        // a restart lands past them) fire at the first iteration.
+        let mut death: Option<(usize, usize)> = None;
+        for (slot, &orig) in alive.iter().enumerate() {
+            if death_fired[orig] {
+                continue;
+            }
+            if let Some(it) = plan.death_iteration(orig) {
+                let it = it.max(start_iteration);
+                if death.is_none_or(|(_, d)| it < d) {
+                    death = Some((slot, it));
+                }
+            }
+        }
+        let ctx = GenCtx {
+            decomp,
+            backend,
+            opts,
+            rec,
+            plan: plan.clone(),
+            store: store.clone(),
+            assignment: assignment.clone(),
+            start_iteration,
+            death,
+        };
+        let outcome = Cluster::run(alive.len(), |comm: Comm| run_slot(comm, &ctx));
+        comm_bytes += outcome.traffic.iter().map(|t| t.sent_bytes).sum::<u64>();
+
+        let executed = outcome
+            .results
+            .iter()
+            .map(|o| match o {
+                SlotOutcome::Finished { executed, .. }
+                | SlotOutcome::Interrupted { executed, .. }
+                | SlotOutcome::Failed { executed, .. } => *executed,
+            })
+            .max()
+            .unwrap_or(0);
+        total_iterations += executed;
+
+        if outcome.results.iter().all(|o| matches!(o, SlotOutcome::Finished { .. })) {
+            break assemble(
+                outcome.results,
+                s,
+                restarts,
+                &rebalances,
+                total_iterations,
+                comm_bytes,
+            );
+        }
+
+        // A rank was lost. Prefer the scheduled death; otherwise blame
+        // the executor whose send budget was exhausted (peers report
+        // matching timeouts but are healthy).
+        let find_failed = |want_exhausted: bool| {
+            outcome.results.iter().enumerate().find_map(|(slot, o)| match o {
+                SlotOutcome::Failed { at_iteration, error, .. }
+                    if !want_exhausted || matches!(error, CommError::SendExhausted { .. }) =>
+                {
+                    Some((slot, *at_iteration))
+                }
+                _ => None,
+            })
+        };
+        let scheduled = death.and_then(|(slot, _)| {
+            outcome.results.iter().find_map(|o| match o {
+                SlotOutcome::Interrupted { at_iteration, .. } => Some((slot, *at_iteration)),
+                _ => None,
+            })
+        });
+        let (died_slot, at_iteration) = scheduled
+            .or_else(|| find_failed(true))
+            .or_else(|| find_failed(false))
+            .expect("a non-finished generation has a failed slot");
+        let died_rank = alive[died_slot];
+        death_fired[died_rank] = true;
+        tel.counter_add("comm.rank_failures", 1);
+
+        if alive.len() == 1 || restarts >= rec.max_restarts {
+            // Nothing left to recover with: report what we have.
+            break RecoveryResult {
+                keff: f64::NAN,
+                iterations: at_iteration,
+                total_iterations,
+                converged: false,
+                phi: Vec::new(),
+                residuals: Vec::new(),
+                restarts,
+                rebalances: rebalances.clone(),
+                comm_bytes,
+            };
+        }
+        restarts += 1;
+
+        // Previous owners in the compacted survivor space; the dead
+        // slot's subdomains become orphans.
+        let prev: Vec<u32> = assignment
+            .iter()
+            .map(|&slot| {
+                let slot = slot as usize;
+                if slot == died_slot {
+                    u32::MAX
+                } else if slot > died_slot {
+                    (slot - 1) as u32
+                } else {
+                    slot as u32
+                }
+            })
+            .collect();
+        alive.remove(died_slot);
+        let rb = rebalance_on_loss(dims, &loads, (1.0, 1.0, 1.0), &prev, alive.len());
+        assignment = rb.mapping.node_of.clone();
+
+        start_iteration = store.common_iteration().map_or(1, |c| c + 1);
+        if start_iteration == 1 {
+            store.clear();
+        }
+        rebalances.push(RebalanceEvent {
+            died_rank,
+            at_iteration,
+            restart_iteration: start_iteration,
+            survivors: alive.len(),
+            migrated: rb.migrated,
+            cut: rb.mapping.cut,
+            node_loads: rb.mapping.node_loads.clone(),
+        });
+    };
+
+    tel.set_section("fault", fault_section(&plan, restarts));
+    if !result.rebalances.is_empty() {
+        tel.set_section("rebalance", rebalance_section(&result.rebalances));
+    }
+    result
+}
+
+fn assemble(
+    results: Vec<SlotOutcome>,
+    num_subdomains: usize,
+    restarts: usize,
+    rebalances: &[RebalanceEvent],
+    total_iterations: usize,
+    comm_bytes: u64,
+) -> RecoveryResult {
+    let mut phi: Vec<Vec<f64>> = vec![Vec::new(); num_subdomains];
+    let mut keff = 0.0;
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut residuals = Vec::new();
+    for r in results {
+        if let SlotOutcome::Finished {
+            keff: k,
+            iterations: it,
+            converged: c,
+            phi: sub_phi,
+            residuals: res,
+            ..
+        } = r
+        {
+            keff = k;
+            iterations = it;
+            converged = c;
+            residuals = res;
+            for (sub, p) in sub_phi {
+                phi[sub] = p;
+            }
+        }
+    }
+    RecoveryResult {
+        keff,
+        iterations,
+        total_iterations,
+        converged,
+        phi,
+        residuals,
+        restarts,
+        rebalances: rebalances.to_vec(),
+        comm_bytes,
+    }
+}
+
+fn fault_section(plan: &FaultPlan, restarts: usize) -> Json {
+    let cfg = plan.config();
+    Json::obj(vec![
+        ("seed".into(), Json::Uint(cfg.seed)),
+        ("drop_p".into(), Json::Num(cfg.drop_p)),
+        ("flip_p".into(), Json::Num(cfg.flip_p)),
+        ("max_retries".into(), Json::Uint(cfg.max_retries as u64)),
+        (
+            "deaths".into(),
+            Json::Arr(
+                cfg.deaths
+                    .iter()
+                    .map(|d| {
+                        Json::obj(vec![
+                            ("rank".into(), Json::Uint(d.rank as u64)),
+                            ("iteration".into(), Json::Uint(d.iteration as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("restarts".into(), Json::Uint(restarts as u64)),
+    ])
+}
+
+fn rebalance_section(events: &[RebalanceEvent]) -> Json {
+    Json::obj(vec![(
+        "events".into(),
+        Json::Arr(
+            events
+                .iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("died_rank".into(), Json::Uint(e.died_rank as u64)),
+                        ("at_iteration".into(), Json::Uint(e.at_iteration as u64)),
+                        ("restart_iteration".into(), Json::Uint(e.restart_iteration as u64)),
+                        ("survivors".into(), Json::Uint(e.survivors as u64)),
+                        ("migrated".into(), Json::Uint(e.migrated as u64)),
+                        ("cut".into(), Json::Num(e.cut)),
+                        (
+                            "node_loads".into(),
+                            Json::Arr(e.node_loads.iter().map(|&l| Json::Num(l)).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Per-subdomain iteration state hosted by an executor.
+struct SubState {
+    phi: Vec<f64>,
+    q: Vec<f64>,
+    banks: FluxBanks,
+    old_density: Vec<f64>,
+}
+
+/// The per-subdomain sweep engine. Enum dispatch keeps the borrow of the
+/// shared segment source simple across the generation loop.
+enum SlotSweeper {
+    Cpu(SweepSchedule),
+    Serial,
+    Device(Box<DeviceSolver>),
+}
+
+fn run_slot(comm: Comm, ctx: &GenCtx<'_>) -> SlotOutcome {
+    let mut fc = FaultyComm::new(comm, ctx.plan.clone());
+    match run_slot_inner(&mut fc, ctx) {
+        Ok(out) => out,
+        Err((it, executed, e)) => SlotOutcome::Failed { at_iteration: it, executed, error: e },
+    }
+}
+
+/// Gathers `(subdomain, value)` contributions from every executor and
+/// sums them in subdomain order — the canonical reduction that makes the
+/// arithmetic independent of the executor layout.
+fn canonical_sums<const N: usize>(
+    fc: &mut FaultyComm,
+    mine: Vec<(u32, [f64; N])>,
+) -> Result<[f64; N], CommError> {
+    let all = fc.allgather(mine)?;
+    let mut flat: Vec<(u32, [f64; N])> = all.into_iter().flatten().collect();
+    flat.sort_by_key(|&(sub, _)| sub);
+    let mut out = [0.0f64; N];
+    for (_, vals) in flat {
+        for (o, v) in out.iter_mut().zip(vals) {
+            *o += v;
+        }
+    }
+    Ok(out)
+}
+
+type SlotError = (usize, usize, CommError);
+
+#[allow(clippy::type_complexity)]
+fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, SlotError> {
+    let slot = fc.rank() as u32;
+    let decomp = ctx.decomp;
+    let s = decomp.problems.len();
+    let g = decomp.problems[0].num_groups();
+    let my_subs: Vec<usize> = (0..s).filter(|&d| ctx.assignment[d] == slot).collect();
+    let opts = ctx.opts;
+    let start = ctx.start_iteration;
+    // Errors before the loop body count zero executed iterations.
+    let at_start = move |e: CommError| (start, 0usize, e);
+
+    // Sweep engines, one per hosted subdomain.
+    let segsrc = SegmentSource::otf();
+    let pool = ctx.rec.workers.map(|w| {
+        rayon::ThreadPoolBuilder::new().num_threads(w).build().expect("pool build failed")
+    });
+    let mut sweepers: BTreeMap<usize, SlotSweeper> = my_subs
+        .iter()
+        .map(|&sub| {
+            let problem = &decomp.problems[sub];
+            let sweeper = match ctx.backend {
+                Backend::Cpu => SlotSweeper::Cpu(SweepSchedule::with_workers(
+                    ctx.rec.schedule,
+                    problem,
+                    ctx.rec.workers.unwrap_or_else(rayon::current_num_threads),
+                )),
+                Backend::CpuSerial => SlotSweeper::Serial,
+                Backend::Device { spec, mode, mapping } => {
+                    let device = Arc::new(Device::new(spec.clone()));
+                    SlotSweeper::Device(Box::new(
+                        DeviceSolver::new(device, problem, *mode, *mapping)
+                            .expect("device solver setup failed (OOM?)"),
+                    ))
+                }
+            };
+            (sub, sweeper)
+        })
+        .collect();
+
+    // Exchange routing at subdomain granularity. Sends preserve each
+    // subdomain's deterministic plan order, grouped by destination
+    // subdomain (the plan is sorted by neighbour, so groups are
+    // contiguous); receives mirror the sender's grouping.
+    let mut sends: Vec<PairSend> = Vec::new();
+    for &f in &my_subs {
+        for item in &decomp.exchanges[f].sends {
+            let t = item.neighbor_rank as usize;
+            match sends.last_mut() {
+                Some(ps) if ps.from == f && ps.to == t => ps.items.push(item.local_traversal),
+                _ => sends.push(PairSend { from: f, to: t, items: vec![item.local_traversal] }),
+            }
+        }
+    }
+    let mut recvs: Vec<PairRecv> = Vec::new();
+    for &t in &my_subs {
+        for (f, ex) in decomp.exchanges.iter().enumerate() {
+            let items: Vec<WeightedSlot> = ex
+                .sends
+                .iter()
+                .filter(|item| item.neighbor_rank as usize == t)
+                .map(|item| (item.neighbor_traversal, item.weight))
+                .collect();
+            if !items.is_empty() {
+                recvs.push(PairRecv { from: f, to: t, items });
+            }
+        }
+    }
+    let pair_tag = |from: usize, to: usize| TAG_PAIR_BASE + (from * s + to) as u32;
+
+    // Initial state: restore every hosted subdomain from the store, or
+    // start fresh with a globally normalised flat flux.
+    let mut k = opts.k_guess;
+    let mut states: BTreeMap<usize, SubState> = my_subs
+        .iter()
+        .map(|&sub| {
+            let problem = &decomp.problems[sub];
+            let n = problem.num_fsrs() * g;
+            (
+                sub,
+                SubState {
+                    phi: vec![1.0f64; n],
+                    q: vec![0.0f64; n],
+                    banks: FluxBanks::new(problem.num_tracks(), g),
+                    old_density: Vec::new(),
+                },
+            )
+        })
+        .collect();
+    if start == 1 {
+        let contributions: Vec<(u32, [f64; 1])> = my_subs
+            .iter()
+            .map(|&sub| {
+                let (_, f) = fission_production(&decomp.problems[sub], &states[&sub].phi);
+                (sub as u32, [f])
+            })
+            .collect();
+        let [f_global] = canonical_sums(fc, contributions).map_err(at_start)?;
+        for (&sub, st) in states.iter_mut() {
+            if f_global > 0.0 {
+                for p in st.phi.iter_mut() {
+                    *p /= f_global;
+                }
+            }
+            st.old_density = fission_production(&decomp.problems[sub], &st.phi).0;
+        }
+    } else {
+        for (&sub, st) in states.iter_mut() {
+            let ck: SolverCheckpoint = ctx
+                .store
+                .load(sub)
+                .unwrap_or_else(|| panic!("no checkpoint for subdomain {sub} at restart"));
+            assert_eq!(ck.iteration + 1, start, "checkpoint iteration mismatch");
+            st.phi = ck.phi.clone();
+            st.old_density = ck.fission_source.clone();
+            ck.apply_banks(&st.banks);
+            k = ck.keff;
+        }
+    }
+
+    let mut residuals = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+    let mut executed = 0usize;
+    let mut scratch32: Vec<f32> = Vec::new();
+
+    for it in start..=opts.max_iterations {
+        // The simulated failure detector: every executor knows the death
+        // schedule and unwinds at the same iteration boundary.
+        if let Some((_, death_it)) = ctx.death {
+            if it == death_it {
+                return Ok(SlotOutcome::Interrupted { at_iteration: it, executed });
+            }
+        }
+        iterations = it;
+        let fail = |e: CommError| (it, executed, e);
+
+        // Sweep every hosted subdomain.
+        for &sub in &my_subs {
+            let problem = &decomp.problems[sub];
+            let st = states.get_mut(&sub).unwrap();
+            compute_reduced_source(problem, &st.phi, k, &mut st.q);
+            let out = match sweepers.get_mut(&sub).unwrap() {
+                SlotSweeper::Cpu(schedule) => {
+                    let sweep =
+                        || transport_sweep_scheduled(problem, &segsrc, &st.q, &st.banks, schedule);
+                    match &pool {
+                        Some(p) => p.install(sweep),
+                        None => sweep(),
+                    }
+                }
+                SlotSweeper::Serial => {
+                    SerialSweeper { segsrc: &segsrc }.sweep(problem, &st.q, &st.banks)
+                }
+                SlotSweeper::Device(solver) => solver.sweep(problem, &st.q, &st.banks),
+            };
+            update_scalar_flux(problem, &st.q, &out.phi_acc, &mut st.phi);
+        }
+
+        // Global production ratio and residual from canonical sums.
+        let mut densities: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        let contributions: Vec<(u32, [f64; 3])> = my_subs
+            .iter()
+            .map(|&sub| {
+                let st = &states[&sub];
+                let (density, f_local) = fission_production(&decomp.problems[sub], &st.phi);
+                let (mut ss, mut cnt) = (0.0f64, 0.0f64);
+                for (&o, &v) in st.old_density.iter().zip(&density) {
+                    if v.abs() > 1e-14 {
+                        let r = (v - o) / v;
+                        ss += r * r;
+                        cnt += 1.0;
+                    }
+                }
+                densities.insert(sub, density);
+                (sub as u32, [f_local, ss, cnt])
+            })
+            .collect();
+        let [f_global, ss_g, cnt_g] = canonical_sums(fc, contributions).map_err(fail)?;
+        k *= f_global;
+        let res = if cnt_g > 0.0 { (ss_g / cnt_g).sqrt() } else { 0.0 };
+        residuals.push(res);
+
+        // Normalise globally.
+        let inv = if f_global > 0.0 { 1.0 / f_global } else { 1.0 };
+        for (&sub, st) in states.iter_mut() {
+            for p in st.phi.iter_mut() {
+                *p *= inv;
+            }
+            st.banks.scale(inv);
+            st.old_density = densities[&sub].iter().map(|d| d * inv).collect();
+        }
+
+        // Boundary exchange: gather every pair payload from the boundary
+        // banks, ship the remote ones, swap all hosted banks, then apply
+        // local and remote deliveries.
+        let mut payloads: Vec<Vec<f32>> = Vec::with_capacity(sends.len());
+        for ps in &sends {
+            let banks = &states[&ps.from].banks;
+            let mut payload = Vec::with_capacity(ps.items.len() * g);
+            let mut buf = vec![0.0f32; g];
+            for &(t, dir) in &ps.items {
+                banks.get_boundary(t, dir as usize, &mut buf);
+                payload.extend_from_slice(&buf);
+            }
+            payloads.push(payload);
+        }
+        let mut local: Vec<(usize, usize, Vec<f32>)> = Vec::new();
+        for (ps, payload) in sends.iter().zip(payloads) {
+            let dest = ctx.assignment[ps.to];
+            if dest == slot {
+                local.push((ps.from, ps.to, payload));
+            } else {
+                fc.send_vec(dest as usize, pair_tag(ps.from, ps.to), payload).map_err(fail)?;
+            }
+        }
+        for st in states.values_mut() {
+            st.banks.swap();
+        }
+        let apply = |banks: &FluxBanks,
+                     items: &[WeightedSlot],
+                     payload: &[f32],
+                     scratch32: &mut Vec<f32>| {
+            assert_eq!(payload.len(), items.len() * g);
+            for (i, &((t, dir), weight)) in items.iter().enumerate() {
+                scratch32.clear();
+                scratch32.extend(payload[i * g..(i + 1) * g].iter().map(|&x| x * weight));
+                banks.set_incoming(t, dir as usize, scratch32);
+            }
+        };
+        for (from, to, payload) in &local {
+            let pr = recvs
+                .iter()
+                .find(|pr| pr.from == *from && pr.to == *to)
+                .expect("local delivery must have a matching receive plan");
+            apply(&states[to].banks, &pr.items, payload, &mut scratch32);
+        }
+        for pr in &recvs {
+            let src = ctx.assignment[pr.from];
+            if src == slot {
+                continue;
+            }
+            let payload: Vec<f32> =
+                fc.recv_vec(src as usize, pair_tag(pr.from, pr.to)).map_err(fail)?;
+            apply(&states[&pr.to].banks, &pr.items, &payload, &mut scratch32);
+        }
+
+        executed += 1;
+
+        // Checkpoint after the exchange: the stored state is exactly
+        // "ready to begin iteration it + 1".
+        let every = ctx.rec.checkpoint_interval;
+        if every > 0 && it % every == 0 {
+            for (&sub, st) in states.iter() {
+                ctx.store.save(
+                    sub,
+                    &SolverCheckpoint::capture(it, k, &st.phi, &st.old_density, &st.banks),
+                );
+            }
+        }
+
+        if it >= 3 && res < opts.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(SlotOutcome::Finished {
+        keff: k,
+        iterations,
+        converged,
+        phi: states.into_iter().map(|(sub, st)| (sub, st.phi)).collect(),
+        residuals,
+        executed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::solve_cluster;
+    use crate::decomp::{DecompSpec, Decomposition};
+    use antmoc_cluster::fault::RankDeath;
+    use antmoc_geom::geometry::homogeneous_box;
+    use antmoc_geom::{AxialModel, Bc, BoundaryConds};
+    use antmoc_track::TrackParams;
+    use antmoc_xs::c5g7;
+
+    fn decomp_2x1() -> Decomposition {
+        let lib = c5g7::library();
+        let (uo2, _) = lib.by_name("UO2").unwrap();
+        let mut bcs = BoundaryConds::reflective();
+        bcs.z_max = Bc::Vacuum;
+        let g = homogeneous_box(uo2, 4.0, 4.0, (0.0, 8.0), bcs);
+        let axial = AxialModel::uniform(0.0, 8.0, 1.0);
+        let params = TrackParams {
+            num_azim: 4,
+            radial_spacing: 0.4,
+            num_polar: 2,
+            axial_spacing: 0.2,
+            ..Default::default()
+        };
+        Decomposition::build(&g, &axial, &lib, params, DecompSpec { nx: 2, ny: 1, nz: 1 })
+    }
+
+    #[test]
+    fn zero_fault_recovery_is_bitwise_identical_to_plain_cluster() {
+        let d = decomp_2x1();
+        let opts = EigenOptions { tolerance: 1e-30, max_iterations: 12, ..Default::default() };
+        let plain = solve_cluster(&d, &Backend::CpuSerial, &opts);
+        let rec =
+            solve_cluster_recovering(&d, &Backend::CpuSerial, &opts, &RecoveryOptions::default());
+        // One subdomain per executor, serial sweeps, canonical sums that
+        // reproduce the plain solver's rank-order reductions: bit-equal.
+        assert_eq!(plain.keff.to_bits(), rec.keff.to_bits());
+        assert_eq!(plain.iterations, rec.iterations);
+        for (a, b) in plain.phi.iter().zip(&rec.phi) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(rec.restarts, 0);
+        assert!(rec.rebalances.is_empty());
+    }
+
+    #[test]
+    fn rank_death_recovers_from_checkpoint_to_identical_answer() {
+        let d = decomp_2x1();
+        let opts = EigenOptions { tolerance: 1e-30, max_iterations: 12, ..Default::default() };
+        let clean =
+            solve_cluster_recovering(&d, &Backend::CpuSerial, &opts, &RecoveryOptions::default());
+        let rec = RecoveryOptions {
+            fault: FaultConfig {
+                deaths: vec![RankDeath { rank: 1, iteration: 8 }],
+                ..FaultConfig::default()
+            },
+            checkpoint_interval: 3,
+            ..RecoveryOptions::default()
+        };
+        let faulty = solve_cluster_recovering(&d, &Backend::CpuSerial, &opts, &rec);
+        // Restarted from the iteration-6 checkpoint on one executor; the
+        // replayed arithmetic is identical, so so is the answer.
+        assert_eq!(clean.keff.to_bits(), faulty.keff.to_bits());
+        assert_eq!(faulty.restarts, 1);
+        assert_eq!(faulty.rebalances.len(), 1);
+        assert_eq!(faulty.rebalances[0].died_rank, 1);
+        assert_eq!(faulty.rebalances[0].survivors, 1);
+        assert_eq!(faulty.rebalances[0].restart_iteration, 7);
+        // 7 iterations before the death survived via checkpoints at 3 and
+        // 6; iterations 7..12 replay once: executed = 7 + 6.
+        assert_eq!(faulty.total_iterations, clean.total_iterations + 1);
+        for (a, b) in clean.phi.iter().zip(&faulty.phi) {
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -203,6 +203,30 @@ impl FluxBanks {
             }
         }
     }
+
+    /// Snapshots all three banks in their current orientation as raw f32
+    /// values: `(incoming, outgoing, boundary)`. Used by checkpointing;
+    /// the f32 values survive a JSON round trip bit-for-bit.
+    pub fn export_state(&self) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let dump = |bank: &[AtomicU32]| -> Vec<f32> {
+            bank.iter().map(|v| f32::from_bits(v.load(Ordering::Relaxed))).collect()
+        };
+        (dump(&self.incoming), dump(&self.outgoing), dump(&self.boundary))
+    }
+
+    /// Restores a snapshot taken by [`FluxBanks::export_state`]. Lengths
+    /// must match the bank layout this instance was built with.
+    pub fn import_state(&self, incoming: &[f32], outgoing: &[f32], boundary: &[f32]) {
+        let fill = |bank: &[AtomicU32], values: &[f32]| {
+            assert_eq!(bank.len(), values.len(), "bank snapshot length mismatch");
+            for (slot, &v) in bank.iter().zip(values) {
+                slot.store(v.to_bits(), Ordering::Relaxed);
+            }
+        };
+        fill(&self.incoming, incoming);
+        fill(&self.outgoing, outgoing);
+        fill(&self.boundary, boundary);
+    }
 }
 
 /// Relaxed-order atomic `f64 +=` by compare-exchange (the software

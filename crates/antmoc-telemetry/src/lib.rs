@@ -216,10 +216,12 @@ mod tests {
         use rayon::prelude::*;
         let t = Telemetry::new();
         let _outer = t.span("launch");
-        // Worker threads have fresh span stacks, so spans opened inside
-        // the parallel region are roots there — every completion must
-        // still land in the shared aggregate. A 4-thread pool forces
-        // real workers even on single-CPU hosts.
+        // Spawned workers have fresh span stacks, so their spans are
+        // roots ("kernel"); the calling thread also executes tasks and
+        // its stack still holds "launch", so its spans nest
+        // ("launch/kernel"). How the 64 items split between the two is
+        // scheduling-dependent — what must hold is that every completion
+        // lands in the shared aggregate, none lost.
         let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         pool.install(|| {
             (0..64usize).into_par_iter().for_each(|_| {
@@ -228,9 +230,14 @@ mod tests {
         });
         drop(_outer);
         let r = t.report();
-        assert_eq!(r.spans["kernel"].count, 64);
+        let count = |path: &str| r.spans.get(path).map_or(0, |s| s.count);
+        assert_eq!(count("kernel") + count("launch/kernel"), 64);
         assert_eq!(r.spans["launch"].count, 1);
-        assert!(r.spans["kernel"].min_s <= r.spans["kernel"].max_s);
+        for s in ["kernel", "launch/kernel"] {
+            if let Some(s) = r.spans.get(s) {
+                assert!(s.min_s <= s.max_s);
+            }
+        }
     }
 
     #[test]

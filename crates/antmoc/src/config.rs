@@ -33,10 +33,24 @@
 //! nx = 2
 //! ny = 2
 //! nz = 2
+//!
+//! [fault]
+//! enabled = true
+//! seed = 7
+//! drop_p = 0.01            ; per-attempt message drop probability
+//! flip_p = 0.001           ; per-attempt detected-corruption probability
+//! max_retries = 4
+//! backoff_us = 50
+//! recv_timeout_ms = 60000
+//! checkpoint_interval = 10
+//! max_restarts = 4
+//! kill_rank = 1            ; optional scheduled rank death...
+//! kill_iteration = 8       ; ...at this iteration
 //! ```
 
 use std::collections::HashMap;
 
+use antmoc_cluster::fault::{FaultConfig, RankDeath};
 use antmoc_geom::c5g7::{C5g7Options, RoddedConfig};
 use antmoc_gpusim::DeviceSpec;
 use antmoc_quadrature::PolarType;
@@ -48,7 +62,37 @@ use antmoc_track::TrackParams;
 #[derive(Debug, Clone, PartialEq)]
 pub enum BackendConfig {
     Cpu,
-    Device { memory_bytes: u64, cu_mapping: CuMapping },
+    /// One-core-per-rank sweeps (deterministic; the honest configuration
+    /// for measured scaling and fault-replay studies).
+    CpuSerial,
+    Device {
+        memory_bytes: u64,
+        cu_mapping: CuMapping,
+    },
+}
+
+/// Fault-injection and recovery settings (`[fault]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSettings {
+    /// Master switch; everything below is ignored when false.
+    pub enabled: bool,
+    /// The cluster-level fault schedule.
+    pub comm: FaultConfig,
+    /// Checkpoint cadence in iterations (0 disables checkpointing).
+    pub checkpoint_interval: usize,
+    /// Rank losses to absorb before giving up.
+    pub max_restarts: usize,
+}
+
+impl Default for FaultSettings {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            comm: FaultConfig::default(),
+            checkpoint_interval: 10,
+            max_restarts: 4,
+        }
+    }
 }
 
 /// The full run configuration.
@@ -67,6 +111,8 @@ pub struct RunConfig {
     /// attached to the run artifact; 0 disables it (single-domain CPU
     /// runs only).
     pub balance_sweeps: usize,
+    /// Fault injection and recovery (`[fault]`); disabled by default.
+    pub fault: FaultSettings,
 }
 
 impl Default for RunConfig {
@@ -80,6 +126,7 @@ impl Default for RunConfig {
             schedule: ScheduleKind::Natural,
             decomposition: (1, 1, 1),
             balance_sweeps: 0,
+            fault: FaultSettings::default(),
         }
     }
 }
@@ -237,6 +284,7 @@ impl RunConfig {
         if let Some((line, v)) = get("solver", "backend") {
             cfg.backend = match v.to_lowercase().as_str() {
                 "cpu" => BackendConfig::Cpu,
+                "cpu-serial" | "cpu_serial" | "serial" => BackendConfig::CpuSerial,
                 "device" | "gpu" => {
                     BackendConfig::Device { memory_bytes: device_mb << 20, cu_mapping: mapping }
                 }
@@ -256,13 +304,63 @@ impl RunConfig {
             return Err(ConfigError { line: 0, message: "decomposition dims must be >= 1".into() });
         }
 
+        // [fault]
+        cfg.fault.enabled = parse_num(get("fault", "enabled"), cfg.fault.enabled)?;
+        cfg.fault.comm.seed = parse_num(get("fault", "seed"), cfg.fault.comm.seed)?;
+        cfg.fault.comm.drop_p = parse_num(get("fault", "drop_p"), cfg.fault.comm.drop_p)?;
+        cfg.fault.comm.flip_p = parse_num(get("fault", "flip_p"), cfg.fault.comm.flip_p)?;
+        for (key, p) in [("drop_p", cfg.fault.comm.drop_p), ("flip_p", cfg.fault.comm.flip_p)] {
+            if !(0.0..=1.0).contains(&p) {
+                let line = get("fault", key).map_or(0, |(l, _)| l);
+                return Err(ConfigError {
+                    line,
+                    message: format!("{key} must be a probability in [0, 1], got {p}"),
+                });
+            }
+        }
+        cfg.fault.comm.max_retries =
+            parse_num(get("fault", "max_retries"), cfg.fault.comm.max_retries)?;
+        let backoff_us: u64 =
+            parse_num(get("fault", "backoff_us"), cfg.fault.comm.backoff_base.as_micros() as u64)?;
+        cfg.fault.comm.backoff_base = std::time::Duration::from_micros(backoff_us);
+        let timeout_ms: u64 = parse_num(
+            get("fault", "recv_timeout_ms"),
+            cfg.fault.comm.recv_timeout.as_millis() as u64,
+        )?;
+        cfg.fault.comm.recv_timeout = std::time::Duration::from_millis(timeout_ms);
+        cfg.fault.checkpoint_interval =
+            parse_num(get("fault", "checkpoint_interval"), cfg.fault.checkpoint_interval)?;
+        cfg.fault.max_restarts = parse_num(get("fault", "max_restarts"), cfg.fault.max_restarts)?;
+        let kill_rank: Option<(usize, String)> = get("fault", "kill_rank");
+        let kill_iteration = get("fault", "kill_iteration");
+        match (kill_rank, kill_iteration) {
+            (None, None) => {}
+            (Some(rank_entry), Some(it_entry)) => {
+                let rank: usize = parse_num(Some(rank_entry), 0)?;
+                let iteration: usize = parse_num(Some(it_entry.clone()), 0)?;
+                if iteration == 0 {
+                    return Err(ConfigError {
+                        line: it_entry.0,
+                        message: "kill_iteration must be >= 1".into(),
+                    });
+                }
+                cfg.fault.comm.deaths.push(RankDeath { rank, iteration });
+            }
+            (Some((line, _)), None) | (None, Some((line, _))) => {
+                return Err(ConfigError {
+                    line,
+                    message: "kill_rank and kill_iteration must be set together".into(),
+                });
+            }
+        }
+
         Ok(cfg)
     }
 
     /// The device spec implied by the backend config.
     pub fn device_spec(&self) -> Option<DeviceSpec> {
         match &self.backend {
-            BackendConfig::Cpu => None,
+            BackendConfig::Cpu | BackendConfig::CpuSerial => None,
             BackendConfig::Device { memory_bytes, .. } => Some(DeviceSpec::scaled(*memory_bytes)),
         }
     }
@@ -361,6 +459,51 @@ nz = 2
         assert_eq!(cfg.schedule, ScheduleKind::Natural);
         assert_eq!(RunConfig::default().schedule, ScheduleKind::Natural);
         assert!(RunConfig::parse("[solver]\nschedule = zigzag\n").is_err());
+    }
+
+    #[test]
+    fn fault_section_parses() {
+        let cfg = RunConfig::parse(
+            "[fault]\nenabled = true\nseed = 7\ndrop_p = 0.01\nflip_p = 0.001\n\
+             max_retries = 6\nbackoff_us = 25\nrecv_timeout_ms = 500\n\
+             checkpoint_interval = 5\nmax_restarts = 2\nkill_rank = 1\nkill_iteration = 8\n",
+        )
+        .unwrap();
+        assert!(cfg.fault.enabled);
+        assert_eq!(cfg.fault.comm.seed, 7);
+        assert!((cfg.fault.comm.drop_p - 0.01).abs() < 1e-12);
+        assert!((cfg.fault.comm.flip_p - 0.001).abs() < 1e-12);
+        assert_eq!(cfg.fault.comm.max_retries, 6);
+        assert_eq!(cfg.fault.comm.backoff_base, std::time::Duration::from_micros(25));
+        assert_eq!(cfg.fault.comm.recv_timeout, std::time::Duration::from_millis(500));
+        assert_eq!(cfg.fault.checkpoint_interval, 5);
+        assert_eq!(cfg.fault.max_restarts, 2);
+        assert_eq!(cfg.fault.comm.deaths, vec![RankDeath { rank: 1, iteration: 8 }]);
+    }
+
+    #[test]
+    fn fault_section_defaults_to_disabled() {
+        let cfg = RunConfig::parse("[model]\ncase = c5g7\n").unwrap();
+        assert!(!cfg.fault.enabled);
+        assert!(cfg.fault.comm.deaths.is_empty());
+    }
+
+    #[test]
+    fn fault_section_validates_inputs() {
+        // Probabilities outside [0, 1] are rejected with line context.
+        let err = RunConfig::parse("[fault]\ndrop_p = 1.5\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("probability"));
+        // A kill must specify both coordinates.
+        assert!(RunConfig::parse("[fault]\nkill_rank = 1\n").is_err());
+        assert!(RunConfig::parse("[fault]\nkill_iteration = 5\n").is_err());
+        assert!(RunConfig::parse("[fault]\nkill_rank = 1\nkill_iteration = 0\n").is_err());
+    }
+
+    #[test]
+    fn serial_backend_parses() {
+        let cfg = RunConfig::parse("[solver]\nbackend = cpu-serial\n").unwrap();
+        assert_eq!(cfg.backend, BackendConfig::CpuSerial);
     }
 
     #[test]

@@ -7,12 +7,12 @@ use std::time::Instant;
 
 use antmoc_geom::c5g7::C5g7;
 use antmoc_gpusim::{Device, DeviceSpec};
-use antmoc_solver::cluster::{solve_cluster, Backend};
+use antmoc_solver::cluster::{solve_cluster, Backend, SerialSweeper};
 use antmoc_solver::decomp::{DecompSpec, Decomposition};
 use antmoc_solver::device::DeviceSolver;
 use antmoc_solver::{
-    fission_rates, solve_eigenvalue, CpuSweeper, Problem, ScheduleKind, SegmentSource, StorageMode,
-    SweepSchedule,
+    fission_rates, solve_cluster_recovering, solve_eigenvalue, CpuSweeper, Problem,
+    RecoveryOptions, ScheduleKind, SegmentSource, StorageMode, SweepSchedule,
 };
 
 use crate::config::{BackendConfig, RunConfig};
@@ -54,6 +54,7 @@ pub fn run(config: &RunConfig) -> RunReport {
         "backend",
         match &config.backend {
             BackendConfig::Cpu => "cpu",
+            BackendConfig::CpuSerial => "cpu-serial",
             BackendConfig::Device { .. } => "device",
         },
     );
@@ -129,6 +130,13 @@ fn run_single(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
             let mut sweeper = CpuSweeper::with_schedule(&segsrc, schedule);
             solve_eigenvalue(&problem, &mut sweeper, &config.eigen)
         }
+        BackendConfig::CpuSerial => {
+            // The serial backend always traces on the fly; storage modes
+            // are a parallel/device concern.
+            let segsrc = SegmentSource::otf();
+            let mut sweeper = SerialSweeper { segsrc: &segsrc };
+            solve_eigenvalue(&problem, &mut sweeper, &config.eigen)
+        }
         BackendConfig::Device { memory_bytes, cu_mapping } => {
             let device = Arc::new(Device::new(DeviceSpec::scaled(*memory_bytes)));
             let mut solver = DeviceSolver::new(device, &problem, config.mode, *cu_mapping)
@@ -197,6 +205,7 @@ fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport
 
     let backend = match &config.backend {
         BackendConfig::Cpu => Backend::Cpu,
+        BackendConfig::CpuSerial => Backend::CpuSerial,
         BackendConfig::Device { memory_bytes, cu_mapping } => Backend::Device {
             spec: DeviceSpec::scaled(*memory_bytes),
             mode: config.mode,
@@ -204,17 +213,38 @@ fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport
         },
     };
 
+    // With fault injection enabled the solve goes through the recovery
+    // supervisor (checkpoint/restart + L1 rebalancing on rank loss);
+    // otherwise the plain cluster path runs, byte-identical to before
+    // the fault harness existed.
     let t = Instant::now();
-    let result = {
-        let _s = tel.span("transport");
-        solve_cluster(&decomp, &backend, &config.eigen)
+    let (keff, iterations, converged, phi, comm_bytes) = if config.fault.enabled {
+        let rec = RecoveryOptions {
+            fault: config.fault.comm.clone(),
+            checkpoint_interval: config.fault.checkpoint_interval,
+            schedule: config.schedule,
+            workers: None,
+            max_restarts: config.fault.max_restarts,
+        };
+        let r = {
+            let _s = tel.span("transport");
+            solve_cluster_recovering(&decomp, &backend, &config.eigen, &rec)
+        };
+        (r.keff, r.iterations, r.converged, r.phi, r.comm_bytes)
+    } else {
+        let r = {
+            let _s = tel.span("transport");
+            solve_cluster(&decomp, &backend, &config.eigen)
+        };
+        let bytes = r.traffic.iter().map(|t| t.sent_bytes).sum();
+        (r.keff, r.iterations, r.converged, r.phi, bytes)
     };
     let transport_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
     let _output_span = tel.span("output");
     let per_rank: Vec<Vec<f64>> =
-        decomp.problems.iter().zip(&result.phi).map(|(p, phi)| fission_rates(p, phi)).collect();
+        decomp.problems.iter().zip(&phi).map(|(p, phi)| fission_rates(p, phi)).collect();
     let pin_rates = PinRates::aggregate(
         &model,
         decomp.problems.iter().zip(per_rank.iter().map(|r| r.as_slice())),
@@ -222,9 +252,9 @@ fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport
     let output_s = t.elapsed().as_secs_f64();
 
     RunReport {
-        keff: result.keff,
-        iterations: result.iterations,
-        converged: result.converged,
+        keff,
+        iterations,
+        converged,
         pin_rates,
         timings: StageTimings {
             geometry: geometry_s,
@@ -236,7 +266,7 @@ fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport
         num_3d_tracks: decomp.problems.iter().map(|p| p.num_tracks()).sum(),
         num_3d_segments: decomp.problems.iter().map(|p| p.num_3d_segments()).sum(),
         num_fsrs: decomp.problems.iter().map(|p| p.num_fsrs()).sum(),
-        comm_bytes: result.traffic.iter().map(|t| t.sent_bytes).sum(),
+        comm_bytes,
     }
 }
 
