@@ -1,0 +1,188 @@
+//! Sweep-kernel figure: throughput of the fused SoA transport sweep under
+//! the four `tallies x exp` kernel combinations on a C5G7-sized problem,
+//! plus an eigenvalue cross-check of the table exponential.
+//!
+//! * **atomic** tallies accumulate into shared `AtomicU64` slots with a
+//!   CAS loop (the pre-arena kernel's strategy);
+//! * **privatized** tallies give each worker a dense private `f64` buffer
+//!   and reduce in fixed worker order — no atomics in the hot path;
+//! * **intrinsic** evaluates `1 - exp(-tau)` with `exp_m1`; **table**
+//!   interpolates the precomputed [`ExpTable`].
+//!
+//! Gates:
+//! * privatized tallies must reach >= 1.15x the atomic throughput at
+//!   4 workers (best pairing across exp modes, best-of-REPS to damp OS
+//!   noise on shared CI machines);
+//! * the table-exponential eigenvalue must land within 1e-6 of the
+//!   intrinsic one;
+//! * the privatized sweep must report `sweep.cas_retries == 0`.
+//!
+//! ```text
+//! cargo run --release -p antmoc-bench --bin fig_sweep_kernel
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use antmoc::geom::c5g7::{C5g7, C5g7Options};
+use antmoc::solver::sweep::transport_sweep_with;
+use antmoc::solver::{
+    solve_eigenvalue, CpuSweeper, EigenOptions, ExpMode, FluxBanks, KernelConfig, Problem,
+    SegmentSource, SweepArena, SweepSchedule, TallyMode,
+};
+use antmoc::telemetry::Telemetry;
+use antmoc::track::TrackParams;
+
+const WORKERS: usize = 4;
+const REPS: usize = 5;
+const MIN_SPEEDUP: f64 = 1.15;
+const MAX_KEFF_DELTA: f64 = 1e-6;
+
+/// Best-of-REPS sweep throughput (segments/s) for one kernel config.
+fn throughput(
+    pool: &rayon::ThreadPool,
+    problem: &Problem,
+    segsrc: &SegmentSource,
+    q: &[f64],
+    schedule: &SweepSchedule,
+    kernel: KernelConfig,
+) -> (f64, u64) {
+    let mut arena = SweepArena::new(kernel);
+    let mut best = 0.0f64;
+    let mut segments = 0u64;
+    for _ in 0..REPS {
+        let banks = FluxBanks::new(problem.num_tracks(), problem.num_groups());
+        let t0 = Instant::now();
+        let out =
+            pool.install(|| transport_sweep_with(problem, segsrc, q, &banks, schedule, &mut arena));
+        let dt = t0.elapsed().as_secs_f64();
+        segments = out.segments;
+        let rate = out.segments as f64 / dt;
+        best = best.max(rate);
+        arena.recycle(out);
+    }
+    (best, segments)
+}
+
+fn eigen_keff(problem: &Problem, exp: ExpMode) -> f64 {
+    let segsrc = SegmentSource::otf();
+    let kernel = KernelConfig { tallies: TallyMode::Privatized, exp, ..Default::default() };
+    let mut sweeper = CpuSweeper::with_kernel(&segsrc, SweepSchedule::natural(), kernel);
+    let opts = EigenOptions { tolerance: 1e-6, max_iterations: 800, k_guess: 1.0 };
+    let r = solve_eigenvalue(problem, &mut sweeper, &opts);
+    assert!(r.converged, "eigen solve for exp mode did not converge");
+    r.keff
+}
+
+fn main() -> ExitCode {
+    println!("# Sweep kernel: tally strategy x exp evaluation, {WORKERS} workers\n");
+    Telemetry::global().reset();
+
+    let m = C5g7::build(C5g7Options { axial_dz: 21.42, ..Default::default() });
+    let params = TrackParams {
+        num_azim: 4,
+        radial_spacing: 1.2,
+        num_polar: 2,
+        axial_spacing: 12.0,
+        ..Default::default()
+    };
+    let problem = Problem::build(m.geometry.clone(), m.axial.clone(), &m.library, params);
+    println!(
+        "geometry: {} tracks, {} segments, {} FSRs x {} groups\n",
+        problem.num_tracks(),
+        problem.num_3d_segments(),
+        problem.num_fsrs(),
+        problem.num_groups()
+    );
+
+    let segsrc = SegmentSource::otf();
+    let q = vec![0.5f64; problem.num_fsrs() * problem.num_groups()];
+    let schedule =
+        SweepSchedule::with_workers(antmoc::solver::ScheduleKind::Natural, &problem, WORKERS);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(WORKERS).build().unwrap();
+
+    let combos = [
+        (TallyMode::Atomic, ExpMode::Intrinsic),
+        (TallyMode::Privatized, ExpMode::Intrinsic),
+        (TallyMode::Atomic, ExpMode::Table),
+        (TallyMode::Privatized, ExpMode::Table),
+    ];
+    let mut rates = [0.0f64; 4];
+    println!("| tallies | exp | throughput (Mseg/s, best of {REPS}) |");
+    println!("|---|---|---|");
+    for (i, (tallies, exp)) in combos.into_iter().enumerate() {
+        let kernel = KernelConfig { tallies, exp, ..Default::default() };
+        let (rate, _) = throughput(&pool, &problem, &segsrc, &q, &schedule, kernel);
+        rates[i] = rate;
+        println!("| {} | {} | {:.3} |", tallies.name(), exp.name(), rate / 1e6);
+    }
+    let speedup_intrinsic = rates[1] / rates[0];
+    let speedup_table = rates[3] / rates[2];
+    let speedup = speedup_intrinsic.max(speedup_table);
+    println!(
+        "\nprivatized/atomic speedup: intrinsic {speedup_intrinsic:.3}x, \
+         table {speedup_table:.3}x"
+    );
+
+    // The last combos above ended on privatized sweeps; the retry counter
+    // must not have moved for any of them.
+    let report = Telemetry::global().report();
+    let cas_retries = report.counter("sweep.cas_retries");
+    println!("sweep.cas_retries (all sweeps, incl. atomic): {cas_retries}");
+
+    // A privatized-only telemetry window for the zero-retry gate.
+    Telemetry::global().reset();
+    let kernel = KernelConfig {
+        tallies: TallyMode::Privatized,
+        exp: ExpMode::Intrinsic,
+        ..Default::default()
+    };
+    let _ = throughput(&pool, &problem, &segsrc, &q, &schedule, kernel);
+    let priv_retries = Telemetry::global().report().counter("sweep.cas_retries");
+    println!("sweep.cas_retries (privatized only): {priv_retries}");
+
+    // Eigenvalue cross-check of the table exponential on a coarse solve.
+    let coarse = TrackParams {
+        num_azim: 4,
+        radial_spacing: 1.2,
+        num_polar: 2,
+        axial_spacing: 20.0,
+        ..Default::default()
+    };
+    let eigen_problem = Problem::build(m.geometry.clone(), m.axial.clone(), &m.library, coarse);
+    let k_intrinsic = eigen_keff(&eigen_problem, ExpMode::Intrinsic);
+    let k_table = eigen_keff(&eigen_problem, ExpMode::Table);
+    let dk = (k_table - k_intrinsic).abs();
+    println!("\nk-eff: intrinsic {k_intrinsic:.8}, table {k_table:.8}, |delta| = {dk:.2e}");
+
+    antmoc_bench::write_telemetry_artifact("fig_sweep_kernel");
+
+    let mut ok = true;
+    if speedup < MIN_SPEEDUP {
+        eprintln!(
+            "fig_sweep_kernel: FAIL — privatized speedup {speedup:.3}x < {MIN_SPEEDUP}x \
+             (intrinsic {speedup_intrinsic:.3}x, table {speedup_table:.3}x)"
+        );
+        ok = false;
+    }
+    if dk > MAX_KEFF_DELTA {
+        eprintln!(
+            "fig_sweep_kernel: FAIL — table k-eff differs from intrinsic by {dk:.2e} > \
+             {MAX_KEFF_DELTA:.0e}"
+        );
+        ok = false;
+    }
+    if priv_retries != 0 {
+        eprintln!("fig_sweep_kernel: FAIL — privatized sweeps reported {priv_retries} CAS retries");
+        ok = false;
+    }
+    if ok {
+        println!(
+            "\nfig_sweep_kernel: PASS (speedup {speedup:.3}x >= {MIN_SPEEDUP}x, \
+             |dk| {dk:.2e} <= {MAX_KEFF_DELTA:.0e}, privatized CAS retries = 0)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -108,6 +108,21 @@ fn main() -> ExitCode {
         println!("perf-smoke: scheduler: single-worker pool, no stealing telemetry recorded");
     }
 
+    // Tally-kernel telemetry: which strategy the arena resolved to and how
+    // many CAS retries the atomic path (if any) burned. The default auto
+    // path should report zero.
+    let tally_mode = report
+        .sections
+        .get("sweep_kernel")
+        .and_then(|s| s.get("tally_mode"))
+        .and_then(Json::as_str)
+        .unwrap_or("unknown");
+    println!(
+        "perf-smoke: tallies: mode {tally_mode}, {} CAS retries, {} tally bytes",
+        report.counter("sweep.cas_retries"),
+        report.gauges.get("sweep.tally_bytes").map(|g| g.last).unwrap_or(0.0),
+    );
+
     if write_baseline {
         let baseline = Json::Obj(vec![
             ("case".into(), Json::Str("c5g7-tiny-otf-cpu".into())),

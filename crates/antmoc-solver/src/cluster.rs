@@ -231,6 +231,7 @@ fn run_rank(
         let out = sweeper.sweep(problem, &q, &banks);
         sweep_seconds += t0.elapsed().as_secs_f64();
         update_scalar_flux(problem, &q, &out.phi_acc, &mut phi);
+        sweeper.recycle(out);
 
         // Global production and k update.
         let (density, f_local) = fission_production(problem, &phi);

@@ -12,7 +12,8 @@ use crate::schedule::SweepSchedule;
 use crate::source::{
     compute_reduced_source, fission_production, fission_rms_residual, update_scalar_flux,
 };
-use crate::sweep::{FluxBanks, SegmentSource, SweepOutcome};
+use crate::sweep::{transport_sweep_with, FluxBanks, SegmentSource, SweepOutcome};
+use crate::tally::{KernelConfig, SweepArena};
 
 /// Iteration controls.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,29 +54,50 @@ pub struct EigenResult {
 /// through the simulated GPU.
 pub trait Sweeper {
     fn sweep(&mut self, problem: &Problem, q: &[f64], banks: &FluxBanks) -> SweepOutcome;
+
+    /// Hands a consumed outcome back so the sweeper can reuse its
+    /// allocations; sweepers without an arena ignore it.
+    fn recycle(&mut self, _outcome: SweepOutcome) {}
 }
 
-/// The plain CPU sweeper.
+/// The plain CPU sweeper: arena-backed, so flux accumulators and
+/// per-worker scratch persist across iterations, and the tally/exp
+/// strategy follows its [`KernelConfig`].
 pub struct CpuSweeper<'a> {
     segsrc: &'a SegmentSource,
     schedule: SweepSchedule,
+    arena: SweepArena,
 }
 
 impl<'a> CpuSweeper<'a> {
-    /// A sweeper dispatching tracks in natural order.
+    /// A sweeper dispatching tracks in natural order with the default
+    /// kernel configuration (auto tallies, intrinsic exp).
     pub fn new(segsrc: &'a SegmentSource) -> Self {
-        Self { segsrc, schedule: SweepSchedule::natural() }
+        Self::with_kernel(segsrc, SweepSchedule::natural(), KernelConfig::default())
     }
 
     /// A sweeper dispatching tracks in the order given by `schedule`.
     pub fn with_schedule(segsrc: &'a SegmentSource, schedule: SweepSchedule) -> Self {
-        Self { segsrc, schedule }
+        Self::with_kernel(segsrc, schedule, KernelConfig::default())
+    }
+
+    /// Full control: dispatch order plus tally/exp kernel configuration.
+    pub fn with_kernel(
+        segsrc: &'a SegmentSource,
+        schedule: SweepSchedule,
+        kernel: KernelConfig,
+    ) -> Self {
+        Self { segsrc, schedule, arena: SweepArena::new(kernel) }
     }
 }
 
 impl Sweeper for CpuSweeper<'_> {
     fn sweep(&mut self, problem: &Problem, q: &[f64], banks: &FluxBanks) -> SweepOutcome {
-        crate::sweep::transport_sweep_scheduled(problem, self.segsrc, q, banks, &self.schedule)
+        transport_sweep_with(problem, self.segsrc, q, banks, &self.schedule, &mut self.arena)
+    }
+
+    fn recycle(&mut self, outcome: SweepOutcome) {
+        self.arena.recycle(outcome);
     }
 }
 
@@ -145,6 +167,7 @@ pub fn solve_eigenvalue_resumable(
         let out = sweeper.sweep(problem, &q, &banks);
         total_segments += out.segments;
         update_scalar_flux(problem, &q, &out.phi_acc, &mut phi);
+        sweeper.recycle(out);
 
         let (density, f_new) = fission_production(problem, &phi);
         // Production was normalised to 1 last iteration, so the ratio is

@@ -9,6 +9,10 @@
 //! on CPUs the intrinsic is usually competitive, which is why the default
 //! sweep uses it).
 
+/// Default table range. `1 - exp(-12)` is within 7e-6 of 1, well inside
+/// any useful table tolerance, so saturating above this loses nothing.
+pub const DEFAULT_TAU_MAX: f64 = 12.0;
+
 /// A table of `f(tau) = 1 - exp(-tau)` on `[0, tau_max]` with equally
 /// spaced nodes and linear interpolation; saturates to `f(tau_max)` above
 /// the range (where the value is within the table error of 1 anyway if
@@ -61,12 +65,38 @@ impl ExpTable {
     }
 
     pub fn is_empty(&self) -> bool {
-        false
+        self.values.is_empty()
     }
 
     /// Bytes of storage.
     pub fn bytes(&self) -> u64 {
         (self.values.len() * 8) as u64
+    }
+}
+
+/// How the sweep kernel evaluates `1 - exp(-tau)`.
+#[derive(Debug, Clone, Copy)]
+pub enum ExpEval<'a> {
+    /// The `exp_m1` intrinsic — bit-identical to the pre-table kernel.
+    Intrinsic,
+    /// Lookup in a prebuilt [`ExpTable`].
+    Table(&'a ExpTable),
+}
+
+impl ExpEval<'_> {
+    #[inline]
+    pub fn one_minus_exp(&self, tau: f64) -> f64 {
+        match self {
+            ExpEval::Intrinsic => -(-tau).exp_m1(),
+            ExpEval::Table(t) => t.eval(tau),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExpEval::Intrinsic => "intrinsic",
+            ExpEval::Table(_) => "table",
+        }
     }
 }
 
@@ -97,6 +127,30 @@ mod tests {
             }
             assert!(worst <= eps * 1.01, "eps {eps}: worst {worst}");
         }
+    }
+
+    #[test]
+    fn new_tables_are_never_empty() {
+        // `new` asserts nodes >= 2, so a constructed table can never be
+        // empty — and `is_empty` must actually inspect the storage.
+        let t = ExpTable::new(10.0, 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn exp_eval_modes_agree_within_table_tolerance() {
+        let table = ExpTable::with_tolerance(DEFAULT_TAU_MAX, 1e-8);
+        let via_table = ExpEval::Table(&table);
+        let intrinsic = ExpEval::Intrinsic;
+        for i in 0..10_000 {
+            let tau = DEFAULT_TAU_MAX * i as f64 / 9_999.0;
+            let a = intrinsic.one_minus_exp(tau);
+            let b = via_table.one_minus_exp(tau);
+            assert!((a - b).abs() <= 1e-8 * 1.01, "tau {tau}: {a} vs {b}");
+        }
+        assert_eq!(intrinsic.name(), "intrinsic");
+        assert_eq!(via_table.name(), "table");
     }
 
     #[test]

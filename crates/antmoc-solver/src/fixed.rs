@@ -91,6 +91,7 @@ pub fn solve_fixed_source(
         let out = sweeper.sweep(problem, &q, &banks);
         let old = phi.clone();
         update_scalar_flux(problem, &q, &out.phi_acc, &mut phi);
+        sweeper.recycle(out);
 
         let mut ss = 0.0;
         let mut cnt = 0usize;

@@ -5,6 +5,8 @@
 //!   cross sections, tracked volumes, per-track sweep metadata);
 //! * [`sweep`] — flux banks and the segment sweep kernel with EXP / OTF /
 //!   Manager storage modes (§4.1 of the paper);
+//! * [`tally`] — atomic vs privatized flux-tally strategies and the
+//!   reusable [`SweepArena`] behind the arena-driven sweep;
 //! * [`source`] — reduced-source and scalar-flux updates, fission
 //!   tallies;
 //! * [`eigen`] — the power iteration shared by all solver flavours;
@@ -33,13 +35,16 @@ pub mod schedule;
 pub mod solver2d;
 pub mod source;
 pub mod sweep;
+pub mod tally;
 
 pub use checkpoint::{BankSnapshot, CheckpointStore, SolverCheckpoint};
 pub use eigen::{
     solve_eigenvalue, solve_eigenvalue_resumable, CpuSweeper, EigenOptions, EigenResult, Sweeper,
 };
+pub use exptable::{ExpEval, ExpTable};
 pub use problem::{Problem, SweepTrack, XsData};
 pub use recovery::{solve_cluster_recovering, RebalanceEvent, RecoveryOptions, RecoveryResult};
 pub use schedule::{ScheduleKind, SweepSchedule};
 pub use source::{fission_production, fission_rates};
 pub use sweep::{FluxBanks, SegmentSource, StorageMode, SweepOutcome};
+pub use tally::{ExpMode, KernelConfig, SweepArena, SweepTallies, TallyMode};

@@ -41,7 +41,8 @@ use crate::device::DeviceSolver;
 use crate::eigen::{EigenOptions, Sweeper};
 use crate::schedule::{ScheduleKind, SweepSchedule};
 use crate::source::{compute_reduced_source, fission_production, update_scalar_flux};
-use crate::sweep::{transport_sweep_scheduled, FluxBanks, SegmentSource};
+use crate::sweep::{transport_sweep_with, FluxBanks, SegmentSource};
+use crate::tally::{KernelConfig, SweepArena};
 
 /// Controls for the fault-tolerant solve.
 #[derive(Debug, Clone)]
@@ -58,6 +59,8 @@ pub struct RecoveryOptions {
     pub workers: Option<usize>,
     /// How many rank losses to absorb before giving up.
     pub max_restarts: usize,
+    /// Tally/exp kernel configuration for the CPU backend.
+    pub kernel: KernelConfig,
 }
 
 impl Default for RecoveryOptions {
@@ -68,6 +71,7 @@ impl Default for RecoveryOptions {
             schedule: ScheduleKind::Natural,
             workers: None,
             max_restarts: 4,
+            kernel: KernelConfig::default(),
         }
     }
 }
@@ -439,7 +443,7 @@ struct SubState {
 /// The per-subdomain sweep engine. Enum dispatch keeps the borrow of the
 /// shared segment source simple across the generation loop.
 enum SlotSweeper {
-    Cpu(SweepSchedule),
+    Cpu(SweepSchedule, SweepArena),
     Serial,
     Device(Box<DeviceSolver>),
 }
@@ -495,11 +499,14 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
         .map(|&sub| {
             let problem = &decomp.problems[sub];
             let sweeper = match ctx.backend {
-                Backend::Cpu => SlotSweeper::Cpu(SweepSchedule::with_workers(
-                    ctx.rec.schedule,
-                    problem,
-                    ctx.rec.workers.unwrap_or_else(rayon::current_num_threads),
-                )),
+                Backend::Cpu => SlotSweeper::Cpu(
+                    SweepSchedule::with_workers(
+                        ctx.rec.schedule,
+                        problem,
+                        ctx.rec.workers.unwrap_or_else(rayon::current_num_threads),
+                    ),
+                    SweepArena::new(ctx.rec.kernel.clone()),
+                ),
                 Backend::CpuSerial => SlotSweeper::Serial,
                 Backend::Device { spec, mode, mapping } => {
                     let device = Arc::new(Device::new(spec.clone()));
@@ -616,11 +623,12 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
             let st = states.get_mut(&sub).unwrap();
             compute_reduced_source(problem, &st.phi, k, &mut st.q);
             let out = match sweepers.get_mut(&sub).unwrap() {
-                SlotSweeper::Cpu(schedule) => {
-                    let sweep =
-                        || transport_sweep_scheduled(problem, &segsrc, &st.q, &st.banks, schedule);
+                SlotSweeper::Cpu(schedule, arena) => {
+                    let mut sweep = || {
+                        transport_sweep_with(problem, &segsrc, &st.q, &st.banks, schedule, arena)
+                    };
                     match &pool {
-                        Some(p) => p.install(sweep),
+                        Some(p) => p.install(&mut sweep),
                         None => sweep(),
                     }
                 }
@@ -630,6 +638,9 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
                 SlotSweeper::Device(solver) => solver.sweep(problem, &st.q, &st.banks),
             };
             update_scalar_flux(problem, &st.q, &out.phi_acc, &mut st.phi);
+            if let SlotSweeper::Cpu(_, arena) = sweepers.get_mut(&sub).unwrap() {
+                arena.recycle(out);
+            }
         }
 
         // Global production ratio and residual from canonical sums.

@@ -16,8 +16,10 @@ use rayon::prelude::*;
 use antmoc_telemetry::{Json, Telemetry};
 use antmoc_track::{trace_3d, Link3d, SegmentStore3d, Track3dId, Track3dInfo, TrackId};
 
+use crate::exptable::ExpEval;
 use crate::problem::Problem;
 use crate::schedule::SweepSchedule;
+use crate::tally::{SweepArena, SweepTallies};
 
 /// CAS retries taken by [`atomic_add_f64`] since process start. The retry
 /// branch only runs under contention, so the extra relaxed increment is
@@ -257,10 +259,14 @@ pub struct SweepOutcome {
     pub segments: u64,
 }
 
-/// Sweeps one track in both directions. Returns `(segments, leakage)`.
+/// Sweeps one track in both directions, tallying into a shared atomic
+/// array. Returns `(segments, leakage)`.
 ///
 /// `scratch` holds the OTF-generated `(fsr3d, length)` list; stored tracks
-/// use their slice directly.
+/// use their slice directly. This is the historical entry point (device
+/// solver, serial cluster sweeper); it is a thin binding of
+/// [`sweep_track_kernel`] to atomic tallies and the `exp_m1` intrinsic
+/// and stays bit-identical to the pre-arena kernel.
 #[allow(clippy::too_many_arguments)]
 pub fn sweep_one_track(
     problem: &Problem,
@@ -270,6 +276,29 @@ pub fn sweep_one_track(
     banks: &FluxBanks,
     track: u32,
     scratch: &mut Vec<(u32, f32)>,
+) -> (u64, f64) {
+    sweep_track_kernel(problem, segsrc, q, banks, track, scratch, &ExpEval::Intrinsic, |slot, v| {
+        atomic_add_f64(&phi_acc[slot], v)
+    })
+}
+
+/// The fused per-track segment kernel: per segment, the `fsr->material`
+/// and `q` base indices are hoisted out of the group loop, `tau =
+/// sigma_t * len` is precomputed per group into a stack buffer, `exp`
+/// evaluates `1 - exp(-tau)`, and every `w * delta psi` contribution is
+/// delivered through `tally(slot, value)` — the strategy decides whether
+/// that is an atomic CAS add or a plain store into a private buffer.
+/// Returns `(segments, leakage)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep_track_kernel<F: FnMut(usize, f64)>(
+    problem: &Problem,
+    segsrc: &SegmentSource,
+    q: &[f64],
+    banks: &FluxBanks,
+    track: u32,
+    scratch: &mut Vec<(u32, f32)>,
+    exp: &ExpEval<'_>,
+    mut tally: F,
 ) -> (u64, f64) {
     let g = problem.num_groups();
     let st = &problem.sweep_tracks[track as usize];
@@ -305,15 +334,23 @@ pub fn sweep_one_track(
     let mut segs = 0u64;
     for dir in 0..2usize {
         banks.load_incoming(track, dir, &mut psi[..g]);
-        let run = |psi: &mut [f64; MAX_GROUPS], fsr: u32, len: f32| {
+        let mut run = |psi: &mut [f64; MAX_GROUPS], fsr: u32, len: f32| {
             let f = fsr as usize;
             let mat = xs.fsr_mat[f] as usize * g;
             let qb = f * g;
+            let lenf = len as f64;
+            // tau = sigma_t * len per group, batched so the attenuation
+            // loop below is pure FMA + exp. `-(sig * lenf)` carries the
+            // same bits as the historical `(-sig) * lenf` — negation is
+            // exact — so the intrinsic path stays bit-identical.
+            let mut tau = [0.0f64; MAX_GROUPS];
+            for (t, sig) in tau.iter_mut().zip(&xs.sigma_t[mat..mat + g]) {
+                *t = sig * lenf;
+            }
             for gi in 0..g {
-                let sig = xs.sigma_t[mat + gi];
-                let e = -(-sig * len as f64).exp_m1(); // 1 - exp(-tau)
+                let e = exp.one_minus_exp(tau[gi]); // 1 - exp(-tau)
                 let dpsi = (psi[gi] - q[qb + gi]) * e;
-                atomic_add_f64(&phi_acc[qb + gi], st.weight * dpsi);
+                tally(qb + gi, st.weight * dpsi);
                 psi[gi] -= dpsi;
             }
         };
@@ -420,6 +457,138 @@ pub fn transport_sweep_scheduled(
         leakage,
         segments,
     }
+}
+
+/// A full transport sweep driven through a [`SweepArena`]: the tally
+/// strategy and exp evaluator are resolved from the arena's
+/// [`crate::tally::KernelConfig`], and every large allocation (flux
+/// accumulator, per-worker tally buffers, OTF scratch, exp table) is
+/// reused across calls.
+///
+/// * **Atomic** strategy: the work-stealing scheduler with CAS adds into
+///   the arena's shared array — numerically identical to
+///   [`transport_sweep_scheduled`], minus its per-sweep allocations.
+/// * **Privatized** strategy: a static partition of the dispatch order
+///   (one contiguous slice per worker, no stealing), plain stores into
+///   per-worker buffers, and a reduction in ascending worker order —
+///   zero `sweep.cas_retries` and run-to-run bitwise-deterministic
+///   results for a fixed worker count and schedule.
+pub fn transport_sweep_with(
+    problem: &Problem,
+    segsrc: &SegmentSource,
+    q: &[f64],
+    banks: &FluxBanks,
+    schedule: &SweepSchedule,
+    arena: &mut SweepArena,
+) -> SweepOutcome {
+    let tel = Telemetry::global();
+    let _sweep_span = tel.span("transport_sweep");
+    let retries_before = CAS_RETRIES.load(Ordering::Relaxed);
+
+    let n = problem.num_tracks();
+    if let Some(len) = schedule.explicit_len() {
+        assert_eq!(len, n, "schedule built for a different problem");
+    }
+    let g = problem.num_groups();
+    let nf = problem.num_fsrs() * g;
+    let workers = rayon::current_num_threads().clamp(1, n.max(1));
+    let strategy = arena.resolve(workers, problem.num_fsrs(), g);
+    arena.prepare(workers, nf, strategy);
+    let mut phi = arena.take_phi(nf);
+
+    let (segments, leakage) = match strategy {
+        SweepTallies::Atomic => {
+            let phi_slots = arena.atomic_slots();
+            let scratch_bufs = arena.scratch_bufs();
+            let exp = arena.exp_eval();
+            let out = (0..n)
+                .into_par_iter()
+                .fold(
+                    || (0u64, 0.0f64),
+                    |(segs, leak), i| {
+                        let t = schedule.track_at(i);
+                        let (s, l) = scratch_bufs.with(|scratch| {
+                            sweep_track_kernel(
+                                problem,
+                                segsrc,
+                                q,
+                                banks,
+                                t,
+                                scratch,
+                                &exp,
+                                |slot, v| atomic_add_f64(&phi_slots[slot], v),
+                            )
+                        });
+                        (segs + s, leak + l)
+                    },
+                )
+                .reduce(|| (0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
+            for (acc, slot) in phi.iter_mut().zip(phi_slots) {
+                *acc = f64::from_bits(slot.load(Ordering::Relaxed));
+            }
+            out
+        }
+        SweepTallies::Privatized { workers: w } => {
+            let out = {
+                let worker_bufs = arena.worker_bufs();
+                let scratch_bufs = arena.scratch_bufs();
+                let exp = arena.exp_eval();
+                rayon::static_partition_fold(
+                    n,
+                    |_w| (0u64, 0.0f64),
+                    |(segs, leak), i| {
+                        let t = schedule.track_at(i);
+                        let (s, l) = scratch_bufs.with(|scratch| {
+                            worker_bufs.with(|buf| {
+                                sweep_track_kernel(
+                                    problem,
+                                    segsrc,
+                                    q,
+                                    banks,
+                                    t,
+                                    scratch,
+                                    &exp,
+                                    |slot, v| buf[slot] += v,
+                                )
+                            })
+                        });
+                        (segs + s, leak + l)
+                    },
+                )
+            };
+            // Fixed worker-order reductions: the per-worker (segments,
+            // leakage) accumulators, then the private flux buffers.
+            let mut segments = 0u64;
+            let mut leakage = 0.0f64;
+            for (s, l) in out {
+                segments += s;
+                leakage += l;
+            }
+            arena.reduce_privatized(&mut phi, w);
+            (segments, leakage)
+        }
+    };
+
+    if let Some(stats) = rayon::take_last_region_stats() {
+        record_scheduler_stats(tel, &stats);
+    }
+
+    tel.counter_add("sweep.segments", segments);
+    tel.counter_add("sweep.tracks", n as u64);
+    // A zero delta still creates the key: the quiet counter is the point.
+    let retries = CAS_RETRIES.load(Ordering::Relaxed).wrapping_sub(retries_before);
+    tel.counter_add("sweep.cas_retries", retries);
+    tel.gauge_set("sweep.tally_bytes", strategy.bytes(nf) as f64);
+    tel.set_section(
+        "sweep_kernel",
+        Json::Obj(vec![
+            ("tally_mode".into(), Json::Str(strategy.name().into())),
+            ("exp_mode".into(), Json::Str(arena.kernel.exp.name().into())),
+            ("workers".into(), Json::Uint(workers as u64)),
+        ]),
+    );
+
+    SweepOutcome { phi_acc: phi, leakage, segments }
 }
 
 /// Records one sweep's scheduler stats: steal counters, the max/mean
@@ -740,5 +909,90 @@ mod tests {
             let _ = transport_sweep(&p, &segsrc, &q, &banks);
         });
         assert!(rayon::take_last_region_stats().is_none());
+    }
+
+    #[test]
+    fn arena_atomic_sweep_is_bit_identical_to_scheduled_sweep() {
+        // `tallies = atomic` must be indistinguishable from the pre-arena
+        // sweep: same kernel math, same accumulation order. Serially that
+        // is a bit-for-bit claim.
+        use crate::schedule::SweepSchedule;
+        use crate::tally::{KernelConfig, SweepArena, TallyMode};
+        let p = vac_problem();
+        let segsrc = SegmentSource::otf();
+        let q = vec![0.6f64; p.num_fsrs() * p.num_groups()];
+        let sched = SweepSchedule::natural();
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let (old, new) = pool.install(|| {
+            let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+            let old = transport_sweep_scheduled(&p, &segsrc, &q, &banks, &sched);
+            let mut arena =
+                SweepArena::new(KernelConfig { tallies: TallyMode::Atomic, ..Default::default() });
+            let banks2 = FluxBanks::new(p.num_tracks(), p.num_groups());
+            let new = transport_sweep_with(&p, &segsrc, &q, &banks2, &sched, &mut arena);
+            (old, new)
+        });
+        assert_eq!(old.segments, new.segments);
+        assert_eq!(old.leakage.to_bits(), new.leakage.to_bits());
+        for (i, (x, y)) in old.phi_acc.iter().zip(&new.phi_acc).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "slot {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn arena_sweep_records_kernel_telemetry() {
+        use crate::schedule::SweepSchedule;
+        use crate::tally::{KernelConfig, SweepArena, TallyMode};
+        let p = vac_problem();
+        let segsrc = SegmentSource::otf();
+        let q = vec![0.5f64; p.num_fsrs() * p.num_groups()];
+        let mut arena =
+            SweepArena::new(KernelConfig { tallies: TallyMode::Privatized, ..Default::default() });
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+            let _ = transport_sweep_with(
+                &p,
+                &segsrc,
+                &q,
+                &banks,
+                &SweepSchedule::natural(),
+                &mut arena,
+            );
+        });
+        let r = Telemetry::global().report();
+        // The retry counter key exists even at zero — "no retries" is an
+        // observation, not an absence.
+        assert!(r.counters.contains_key("sweep.cas_retries"));
+        assert!(r.gauges.contains_key("sweep.tally_bytes"));
+        let sec = &r.sections["sweep_kernel"];
+        let rendered = format!("{sec:?}");
+        assert!(rendered.contains("privatized"), "section {rendered}");
+        assert!(rendered.contains("intrinsic"), "section {rendered}");
+    }
+
+    #[test]
+    fn table_exp_sweep_tracks_intrinsic_within_tolerance() {
+        use crate::schedule::SweepSchedule;
+        use crate::tally::{ExpMode, KernelConfig, SweepArena};
+        let p = vac_problem();
+        let segsrc = SegmentSource::otf();
+        let q = vec![0.8f64; p.num_fsrs() * p.num_groups()];
+        let sched = SweepSchedule::natural();
+        let run = |exp: ExpMode| {
+            let mut arena = SweepArena::new(KernelConfig { exp, ..Default::default() });
+            let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+            transport_sweep_with(&p, &segsrc, &q, &banks, &sched, &mut arena)
+        };
+        let intr = run(ExpMode::Intrinsic);
+        let tab = run(ExpMode::Table);
+        assert_eq!(intr.segments, tab.segments);
+        // Per-segment table error is <= 1e-7 absolute on 1-exp(-tau);
+        // phi sums |q - psi| * err over segments, so allow a generous
+        // multiple without letting the comparison go slack.
+        for (i, (x, y)) in intr.phi_acc.iter().zip(&tab.phi_acc).enumerate() {
+            assert!((x - y).abs() < 1e-4 * x.abs().max(1.0), "slot {i}: {x} vs {y}");
+        }
+        assert!((intr.leakage - tab.leakage).abs() < 1e-4 * intr.leakage.abs().max(1.0));
     }
 }

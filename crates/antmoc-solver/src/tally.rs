@@ -1,0 +1,341 @@
+//! Tally accumulation strategies and the reusable sweep arena.
+//!
+//! The paper's sweep (Algorithm 1, §4.2) tallies `w * delta psi` into
+//! flat-source regions with device `atomicAdd`; the CPU reproduction's
+//! CAS-loop equivalent is the hottest instruction of the whole repo.
+//! This module provides the alternative: **privatized** tallies, where
+//! each pool worker owns a dense `f64` copy of the flux array, the
+//! segment loop does plain stores, and the copies are reduced **in fixed
+//! worker order** after the region — no atomics in the hot path and a
+//! deterministic summation order (run-to-run bitwise reproducible for a
+//! fixed worker count and schedule).
+//!
+//! The cost is memory: `workers * fsrs * groups * 8` bytes. Strategy
+//! selection mirrors the paper's §4.1 memory-vs-speed interpolation —
+//! [`antmoc_perfmodel::advise_tallies`] picks privatized buffers whenever
+//! they fit the configured budget and falls back to the shared atomic
+//! array otherwise; `[solver] tallies = atomic | privatized | auto`
+//! overrides it.
+//!
+//! [`SweepArena`] owns every allocation the sweep would otherwise make
+//! per call (flux accumulator, per-worker tally buffers, OTF scratch,
+//! the optional exp table) so the eigen/fixed/recovery drivers can reuse
+//! them across iterations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use antmoc_perfmodel::TallyAdvice;
+
+use crate::exptable::{ExpEval, ExpTable, DEFAULT_TAU_MAX};
+use crate::sweep::SweepOutcome;
+
+/// How `w * delta psi` contributions are accumulated into FSR flux slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TallyMode {
+    /// CAS-loop atomic `f64` adds into one shared array (the pre-arena
+    /// behaviour).
+    Atomic,
+    /// One dense `f64` buffer per pool worker, reduced in worker order.
+    Privatized,
+    /// Let the perfmodel advisor decide from the memory budget.
+    #[default]
+    Auto,
+}
+
+impl TallyMode {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TallyMode::Atomic => "atomic",
+            TallyMode::Privatized => "privatized",
+            TallyMode::Auto => "auto",
+        }
+    }
+}
+
+/// How the segment loop evaluates `1 - exp(-tau)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpMode {
+    /// The `exp_m1` intrinsic (bit-identical to the historical kernel).
+    #[default]
+    Intrinsic,
+    /// Linear-interpolated [`ExpTable`] lookup.
+    Table,
+}
+
+impl ExpMode {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExpMode::Intrinsic => "intrinsic",
+            ExpMode::Table => "table",
+        }
+    }
+}
+
+/// Sweep-kernel configuration, parsed from the `[solver]` config section
+/// (`tallies`, `tally_budget_mb`, `exp`, `exp_tolerance`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelConfig {
+    pub tallies: TallyMode,
+    /// Memory budget the `Auto` strategy may spend on privatized buffers.
+    pub tally_budget_bytes: u64,
+    pub exp: ExpMode,
+    /// Worst-case absolute error of the exp table (`exp = table`).
+    pub exp_tolerance: f64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            tallies: TallyMode::Auto,
+            tally_budget_bytes: 256 << 20,
+            exp: ExpMode::Intrinsic,
+            exp_tolerance: 1e-7,
+        }
+    }
+}
+
+/// The tally strategy resolved for one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepTallies {
+    /// Shared atomic array.
+    Atomic,
+    /// Private per-worker buffers, reduced in worker order.
+    Privatized { workers: usize },
+}
+
+impl SweepTallies {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepTallies::Atomic => "atomic",
+            SweepTallies::Privatized { .. } => "privatized",
+        }
+    }
+
+    /// Tally-buffer bytes this strategy holds for an `nf`-slot flux array.
+    pub fn bytes(&self, nf: usize) -> u64 {
+        match self {
+            SweepTallies::Atomic => nf as u64 * 8,
+            SweepTallies::Privatized { workers } => *workers as u64 * nf as u64 * 8,
+        }
+    }
+}
+
+/// Reusable sweep state owned by a solver driver: the kernel
+/// configuration plus every allocation the sweep needs, recycled across
+/// iterations instead of reallocated per call.
+///
+/// One arena belongs to one solver instance; do not share an arena
+/// between sweeps running concurrently on different threads (the
+/// per-worker storage contract of [`rayon::WorkerLocal`]).
+pub struct SweepArena {
+    pub kernel: KernelConfig,
+    /// Recycled `SweepOutcome::phi_acc` vectors handed back by `recycle`.
+    phi_pool: Vec<Vec<f64>>,
+    /// The shared atomic accumulator (atomic mode), zeroed per sweep.
+    atomic_buf: Vec<AtomicU64>,
+    /// Private per-worker tally buffers (privatized mode).
+    worker_phi: rayon::WorkerLocal<Vec<f64>>,
+    /// Per-worker OTF `(fsr3d, length)` scratch.
+    scratch: rayon::WorkerLocal<Vec<(u32, f32)>>,
+    /// Lazily built exp table (`exp = table`).
+    exp_table: Option<ExpTable>,
+}
+
+impl SweepArena {
+    pub fn new(kernel: KernelConfig) -> Self {
+        Self {
+            kernel,
+            phi_pool: Vec::new(),
+            atomic_buf: Vec::new(),
+            worker_phi: rayon::WorkerLocal::new(1, |_| Vec::new()),
+            scratch: rayon::WorkerLocal::new(1, |_| Vec::new()),
+            exp_table: None,
+        }
+    }
+
+    /// Resolves the tally strategy for a sweep of `fsrs x groups` slots on
+    /// `workers` pool workers.
+    pub fn resolve(&self, workers: usize, fsrs: usize, groups: usize) -> SweepTallies {
+        match self.kernel.tallies {
+            TallyMode::Atomic => SweepTallies::Atomic,
+            TallyMode::Privatized => SweepTallies::Privatized { workers },
+            TallyMode::Auto => {
+                match antmoc_perfmodel::advise_tallies(
+                    workers,
+                    fsrs,
+                    groups,
+                    self.kernel.tally_budget_bytes,
+                ) {
+                    TallyAdvice::Privatized { .. } => SweepTallies::Privatized { workers },
+                    TallyAdvice::Atomic { .. } => SweepTallies::Atomic,
+                }
+            }
+        }
+    }
+
+    /// A zeroed flux accumulator of length `nf`, reusing a recycled
+    /// vector when one is available.
+    pub(crate) fn take_phi(&mut self, nf: usize) -> Vec<f64> {
+        let mut v = self.phi_pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(nf, 0.0);
+        v
+    }
+
+    /// Hands a finished sweep's flux vector back for reuse. Drivers call
+    /// this once `phi_acc` has been folded into the scalar flux.
+    pub fn recycle(&mut self, outcome: SweepOutcome) {
+        // A couple of spares covers every driver pattern (sweep + residual
+        // double-buffering); beyond that, freeing is cheaper than hoarding.
+        if self.phi_pool.len() < 2 {
+            self.phi_pool.push(outcome.phi_acc);
+        }
+    }
+
+    /// Sizes and zeroes the per-sweep storage for `workers` workers and an
+    /// `nf`-slot flux array under the given strategy. Must be called
+    /// before the parallel region each sweep.
+    pub(crate) fn prepare(&mut self, workers: usize, nf: usize, strategy: SweepTallies) {
+        if self.scratch.len() < workers {
+            self.scratch = rayon::WorkerLocal::new(workers, |_| Vec::new());
+        }
+        match strategy {
+            SweepTallies::Atomic => {
+                if self.atomic_buf.len() != nf {
+                    self.atomic_buf = (0..nf).map(|_| AtomicU64::new(0)).collect();
+                } else {
+                    for slot in &self.atomic_buf {
+                        slot.store(0, Ordering::Relaxed);
+                    }
+                }
+            }
+            SweepTallies::Privatized { workers: w } => {
+                if self.worker_phi.len() < w {
+                    self.worker_phi = rayon::WorkerLocal::new(w, |_| Vec::new());
+                }
+                for k in 0..w {
+                    let buf = self.worker_phi.get_mut(k);
+                    buf.clear();
+                    buf.resize(nf, 0.0);
+                }
+            }
+        }
+        if self.kernel.exp == ExpMode::Table && self.exp_table.is_none() {
+            self.exp_table =
+                Some(ExpTable::with_tolerance(DEFAULT_TAU_MAX, self.kernel.exp_tolerance));
+        }
+    }
+
+    /// The exp evaluator for this arena's configuration. `prepare` must
+    /// have run (it builds the table lazily).
+    pub(crate) fn exp_eval(&self) -> ExpEval<'_> {
+        match self.kernel.exp {
+            ExpMode::Intrinsic => ExpEval::Intrinsic,
+            ExpMode::Table => {
+                ExpEval::Table(self.exp_table.as_ref().expect("prepare builds the table"))
+            }
+        }
+    }
+
+    pub(crate) fn atomic_slots(&self) -> &[AtomicU64] {
+        &self.atomic_buf
+    }
+
+    pub(crate) fn worker_bufs(&self) -> &rayon::WorkerLocal<Vec<f64>> {
+        &self.worker_phi
+    }
+
+    pub(crate) fn scratch_bufs(&self) -> &rayon::WorkerLocal<Vec<(u32, f32)>> {
+        &self.scratch
+    }
+
+    /// Sums the first `workers` private buffers into `phi` in ascending
+    /// worker order — the deterministic reduction that replaces the
+    /// atomics.
+    pub(crate) fn reduce_privatized(&mut self, phi: &mut [f64], workers: usize) {
+        for w in 0..workers {
+            for (acc, &v) in phi.iter_mut().zip(self.worker_phi.get_mut(w).iter()) {
+                *acc += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_auto_intrinsic_with_a_256mib_budget() {
+        let k = KernelConfig::default();
+        assert_eq!(k.tallies, TallyMode::Auto);
+        assert_eq!(k.exp, ExpMode::Intrinsic);
+        assert_eq!(k.tally_budget_bytes, 256 << 20);
+        assert_eq!(k.exp_tolerance, 1e-7);
+    }
+
+    #[test]
+    fn resolve_honours_explicit_modes_and_the_budget() {
+        let mut arena =
+            SweepArena::new(KernelConfig { tallies: TallyMode::Atomic, ..KernelConfig::default() });
+        assert_eq!(arena.resolve(8, 1000, 7), SweepTallies::Atomic);
+        arena.kernel.tallies = TallyMode::Privatized;
+        assert_eq!(arena.resolve(8, 1000, 7), SweepTallies::Privatized { workers: 8 });
+        // Auto: fits the default budget.
+        arena.kernel.tallies = TallyMode::Auto;
+        assert_eq!(arena.resolve(8, 1000, 7), SweepTallies::Privatized { workers: 8 });
+        // Auto with zero budget: always atomic.
+        arena.kernel.tally_budget_bytes = 0;
+        assert_eq!(arena.resolve(1, 1, 1), SweepTallies::Atomic);
+    }
+
+    #[test]
+    fn strategy_bytes_count_buffer_footprint() {
+        assert_eq!(SweepTallies::Atomic.bytes(100), 800);
+        assert_eq!(SweepTallies::Privatized { workers: 4 }.bytes(100), 3200);
+    }
+
+    #[test]
+    fn prepare_zeroes_and_reduce_sums_in_worker_order() {
+        let mut arena = SweepArena::new(KernelConfig::default());
+        arena.prepare(3, 4, SweepTallies::Privatized { workers: 3 });
+        for w in 0..3 {
+            assert!(arena.worker_phi.get_mut(w).iter().all(|&x| x == 0.0));
+            arena.worker_phi.get_mut(w)[w] = (w + 1) as f64;
+        }
+        let mut phi = vec![0.0f64; 4];
+        arena.reduce_privatized(&mut phi, 3);
+        assert_eq!(phi, vec![1.0, 2.0, 3.0, 0.0]);
+        // The next prepare re-zeroes the buffers.
+        arena.prepare(3, 4, SweepTallies::Privatized { workers: 3 });
+        for w in 0..3 {
+            assert!(arena.worker_phi.get_mut(w).iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn phi_pool_recycles_allocations() {
+        let mut arena = SweepArena::new(KernelConfig::default());
+        let phi = arena.take_phi(16);
+        let cap = phi.capacity();
+        arena.recycle(SweepOutcome { phi_acc: phi, leakage: 0.0, segments: 0 });
+        let phi2 = arena.take_phi(8);
+        assert!(phi2.capacity() >= cap, "recycled vector should be reused");
+        assert_eq!(phi2.len(), 8);
+        assert!(phi2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn table_mode_builds_the_table_once() {
+        let mut arena = SweepArena::new(KernelConfig {
+            exp: ExpMode::Table,
+            exp_tolerance: 1e-6,
+            ..KernelConfig::default()
+        });
+        arena.prepare(1, 4, SweepTallies::Atomic);
+        let len = arena.exp_table.as_ref().expect("table built").len();
+        assert!(matches!(arena.exp_eval(), ExpEval::Table(_)));
+        arena.prepare(1, 4, SweepTallies::Atomic);
+        assert_eq!(arena.exp_table.as_ref().unwrap().len(), len);
+    }
+}

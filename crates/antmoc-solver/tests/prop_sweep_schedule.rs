@@ -10,8 +10,11 @@
 
 use antmoc_geom::geometry::homogeneous_box;
 use antmoc_geom::{AxialModel, BoundaryConds};
-use antmoc_solver::sweep::transport_sweep_scheduled;
-use antmoc_solver::{FluxBanks, Problem, ScheduleKind, SegmentSource, SweepSchedule};
+use antmoc_solver::sweep::{transport_sweep_scheduled, transport_sweep_with};
+use antmoc_solver::{
+    FluxBanks, KernelConfig, Problem, ScheduleKind, SegmentSource, SweepArena, SweepSchedule,
+    TallyMode,
+};
 use antmoc_track::TrackParams;
 use antmoc_xs::c5g7;
 use proptest::prelude::*;
@@ -67,6 +70,30 @@ proptest! {
                         "slot {}: {} vs {} (workers={}, kind={:?})",
                         i, x, y, workers, kind
                     );
+                }
+
+                // The arena-driven sweep agrees too, in both tally modes.
+                for tallies in [TallyMode::Atomic, TallyMode::Privatized] {
+                    let mut arena =
+                        SweepArena::new(KernelConfig { tallies, ..Default::default() });
+                    let out = pool.install(|| {
+                        let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+                        transport_sweep_with(&p, &segsrc, &q, &banks, &sched, &mut arena)
+                    });
+                    prop_assert_eq!(out.segments, reference.segments);
+                    prop_assert!(
+                        (out.leakage - reference.leakage).abs()
+                            <= 1e-10 * reference.leakage.abs().max(1.0),
+                        "leakage {} vs {} (workers={}, kind={:?}, tallies={:?})",
+                        out.leakage, reference.leakage, workers, kind, tallies
+                    );
+                    for (i, (x, y)) in out.phi_acc.iter().zip(&reference.phi_acc).enumerate() {
+                        prop_assert!(
+                            (x - y).abs() <= 1e-10 * x.abs().max(y.abs()).max(1e-30),
+                            "slot {}: {} vs {} (workers={}, kind={:?}, tallies={:?})",
+                            i, x, y, workers, kind, tallies
+                        );
+                    }
                 }
             }
         }

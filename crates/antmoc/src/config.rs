@@ -28,6 +28,10 @@
 //! device_memory_mb = 256
 //! cu_mapping = sorted      ; grid | sorted
 //! schedule = natural       ; natural | l3_sorted
+//! tallies = auto           ; atomic | privatized | auto
+//! tally_budget_mb = 256    ; privatized-buffer budget for `auto`
+//! exp = intrinsic          ; intrinsic | table
+//! exp_tolerance = 1e-7     ; exp-table worst-case absolute error
 //!
 //! [decomposition]
 //! nx = 2
@@ -55,7 +59,7 @@ use antmoc_geom::c5g7::{C5g7Options, RoddedConfig};
 use antmoc_gpusim::DeviceSpec;
 use antmoc_quadrature::PolarType;
 use antmoc_solver::device::CuMapping;
-use antmoc_solver::{EigenOptions, ScheduleKind, StorageMode};
+use antmoc_solver::{EigenOptions, ExpMode, KernelConfig, ScheduleKind, StorageMode, TallyMode};
 use antmoc_track::TrackParams;
 
 /// Which execution backend runs the sweeps.
@@ -105,6 +109,8 @@ pub struct RunConfig {
     pub backend: BackendConfig,
     /// CPU sweep dispatch order (`[solver] schedule`).
     pub schedule: ScheduleKind,
+    /// Sweep tally/exp kernel settings (`[solver] tallies / exp`).
+    pub kernel: KernelConfig,
     /// Spatial decomposition grid; `(1, 1, 1)` runs single-domain.
     pub decomposition: (usize, usize, usize),
     /// Extra equilibration sweeps for a post-solve neutron-balance check
@@ -124,6 +130,7 @@ impl Default for RunConfig {
             mode: StorageMode::Otf,
             backend: BackendConfig::Cpu,
             schedule: ScheduleKind::Natural,
+            kernel: KernelConfig::default(),
             decomposition: (1, 1, 1),
             balance_sweeps: 0,
             fault: FaultSettings::default(),
@@ -280,6 +287,43 @@ impl RunConfig {
                     })
                 }
             };
+        }
+        if let Some((line, v)) = get("solver", "tallies") {
+            cfg.kernel.tallies = match v.to_lowercase().as_str() {
+                "atomic" => TallyMode::Atomic,
+                "privatized" | "private" => TallyMode::Privatized,
+                "auto" => TallyMode::Auto,
+                other => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown tally mode {other:?}"),
+                    })
+                }
+            };
+        }
+        let tally_budget_mb: u64 =
+            parse_num(get("solver", "tally_budget_mb"), cfg.kernel.tally_budget_bytes >> 20)?;
+        cfg.kernel.tally_budget_bytes = tally_budget_mb << 20;
+        if let Some((line, v)) = get("solver", "exp") {
+            cfg.kernel.exp = match v.to_lowercase().as_str() {
+                "intrinsic" => ExpMode::Intrinsic,
+                "table" => ExpMode::Table,
+                other => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown exp mode {other:?}"),
+                    })
+                }
+            };
+        }
+        cfg.kernel.exp_tolerance =
+            parse_num(get("solver", "exp_tolerance"), cfg.kernel.exp_tolerance)?;
+        if cfg.kernel.exp_tolerance <= 0.0 {
+            let line = get("solver", "exp_tolerance").map_or(0, |(l, _)| l);
+            return Err(ConfigError {
+                line,
+                message: format!("exp_tolerance must be > 0, got {}", cfg.kernel.exp_tolerance),
+            });
         }
         if let Some((line, v)) = get("solver", "backend") {
             cfg.backend = match v.to_lowercase().as_str() {
@@ -459,6 +503,30 @@ nz = 2
         assert_eq!(cfg.schedule, ScheduleKind::Natural);
         assert_eq!(RunConfig::default().schedule, ScheduleKind::Natural);
         assert!(RunConfig::parse("[solver]\nschedule = zigzag\n").is_err());
+    }
+
+    #[test]
+    fn tallies_and_exp_variants_parse() {
+        let cfg = RunConfig::parse(
+            "[solver]\ntallies = privatized\ntally_budget_mb = 32\nexp = table\n\
+             exp_tolerance = 1e-6\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.kernel.tallies, TallyMode::Privatized);
+        assert_eq!(cfg.kernel.tally_budget_bytes, 32 << 20);
+        assert_eq!(cfg.kernel.exp, ExpMode::Table);
+        assert!((cfg.kernel.exp_tolerance - 1e-6).abs() < 1e-18);
+
+        let cfg = RunConfig::parse("[solver]\ntallies = atomic\n").unwrap();
+        assert_eq!(cfg.kernel.tallies, TallyMode::Atomic);
+        let cfg = RunConfig::parse("[solver]\ntallies = auto\nexp = intrinsic\n").unwrap();
+        assert_eq!(cfg.kernel.tallies, TallyMode::Auto);
+        assert_eq!(cfg.kernel.exp, ExpMode::Intrinsic);
+        assert_eq!(RunConfig::default().kernel, KernelConfig::default());
+
+        assert!(RunConfig::parse("[solver]\ntallies = lockfree\n").is_err());
+        assert!(RunConfig::parse("[solver]\nexp = pade\n").is_err());
+        assert!(RunConfig::parse("[solver]\nexp_tolerance = 0\n").is_err());
     }
 
     #[test]

@@ -73,6 +73,8 @@ pub fn run(config: &RunConfig) -> RunReport {
             ScheduleKind::L3Sorted => "l3_sorted",
         },
     );
+    tel.set_meta("tallies", config.kernel.tallies.name());
+    tel.set_meta("exp", config.kernel.exp.name());
     tel.set_meta_num("decomposition_domains", (nx * ny * nz) as f64);
 
     // Stage 2: geometry construction.
@@ -127,7 +129,7 @@ fn run_single(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
                 }
             };
             let schedule = SweepSchedule::for_problem(config.schedule, &problem);
-            let mut sweeper = CpuSweeper::with_schedule(&segsrc, schedule);
+            let mut sweeper = CpuSweeper::with_kernel(&segsrc, schedule, config.kernel.clone());
             solve_eigenvalue(&problem, &mut sweeper, &config.eigen)
         }
         BackendConfig::CpuSerial => {
@@ -223,6 +225,7 @@ fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport
             fault: config.fault.comm.clone(),
             checkpoint_interval: config.fault.checkpoint_interval,
             schedule: config.schedule,
+            kernel: config.kernel.clone(),
             workers: None,
             max_restarts: config.fault.max_restarts,
         };

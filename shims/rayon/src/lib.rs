@@ -21,7 +21,7 @@
 //! `available_parallelism`. Only the adapters the solver/track/gpusim
 //! crates actually call are provided; grow it as call sites grow.
 
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, RefCell, UnsafeCell};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -41,6 +41,94 @@ thread_local! {
     /// Stats of the last multi-worker parallel region driven from this
     /// thread; `None` after a serial region or a `take`.
     static LAST_REGION: RefCell<Option<RegionStats>> = const { RefCell::new(None) };
+
+    /// Index of the pool worker currently executing on this thread;
+    /// `None` outside any parallel region.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The index of the pool worker executing on the current thread, or
+/// `None` outside a parallel region. Inside a region with `W` workers the
+/// index is in `0..W`, each index held by exactly one thread at a time
+/// (worker 0 is the calling thread). This is what lets [`WorkerLocal`]
+/// hand out unaliased `&mut` slots without atomics.
+pub fn current_worker_index() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+/// Sets the worker index for the duration of the returned guard.
+fn enter_worker(me: usize) -> WorkerIndexGuard {
+    WorkerIndexGuard { prev: WORKER_INDEX.with(|w| w.replace(Some(me))) }
+}
+
+struct WorkerIndexGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for WorkerIndexGuard {
+    fn drop(&mut self) {
+        WORKER_INDEX.with(|w| w.set(self.prev));
+    }
+}
+
+/// Fixed-size per-worker storage shared across a parallel region without
+/// atomics: slot `w` belongs to the pool worker whose
+/// [`current_worker_index`] is `w` (slot 0 doubles as the serial /
+/// outside-region slot).
+///
+/// # Safety contract
+///
+/// [`WorkerLocal::with`] hands out `&mut T` to the calling worker's slot.
+/// That is sound because every scheduler in this shim runs each worker
+/// index on at most one thread at a time within a region, and distinct
+/// workers get distinct slots. The holder must not share one `WorkerLocal`
+/// across concurrently running regions driven from different threads
+/// (e.g. two cluster ranks): give each solver instance its own.
+pub struct WorkerLocal<T> {
+    slots: Vec<UnsafeCell<T>>,
+}
+
+// SAFETY: `with` only ever derives `&mut` to the slot owned by the
+// current worker index, and the schedulers guarantee each index is live
+// on one thread at a time (see the type-level contract above).
+unsafe impl<T: Send> Sync for WorkerLocal<T> {}
+
+impl<T> WorkerLocal<T> {
+    /// One slot per worker, each built by `init(worker_index)`.
+    pub fn new(workers: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        Self { slots: (0..workers.max(1)).map(|w| UnsafeCell::new(init(w))).collect() }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Runs `f` with exclusive access to the calling worker's slot.
+    /// Panics if the current worker index exceeds the slot count — size
+    /// the storage for the pool before entering the region.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let w = current_worker_index().unwrap_or(0);
+        assert!(w < self.slots.len(), "worker {w} has no slot (len {})", self.slots.len());
+        // SAFETY: per the type's contract, worker index w is executing on
+        // exactly this thread right now, so the borrow is exclusive.
+        f(unsafe { &mut *self.slots[w].get() })
+    }
+
+    /// Direct access to slot `w` (requires `&mut self`, so no region is
+    /// running over this storage).
+    pub fn get_mut(&mut self, w: usize) -> &mut T {
+        self.slots[w].get_mut()
+    }
+
+    /// Iterates all slots mutably, in worker order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().map(|c| c.get_mut())
+    }
 }
 
 /// Workers the current thread's parallel calls will use.
@@ -137,6 +225,7 @@ where
         if n == 0 {
             return Vec::new();
         }
+        let _wi = enter_worker(0);
         let mut state = make_state();
         task(&mut state, 0..n);
         return vec![finish(state)];
@@ -156,6 +245,7 @@ where
     let remaining = AtomicUsize::new(n);
 
     let worker_loop = |me: usize| -> (WorkerLog, R) {
+        let _wi = enter_worker(me);
         let mut log = WorkerLog { busy: Duration::ZERO, items: 0, steal_attempts: 0, steals: 0 };
         let mut state = make_state();
         // Deterministic xorshift for victim selection, distinct per worker.
@@ -228,6 +318,72 @@ where
         stats.items.push(log.items);
         stats.steal_attempts += log.steal_attempts;
         stats.steals += log.steals;
+    }
+    LAST_REGION.with(|s| *s.borrow_mut() = Some(stats));
+    results.drain(..).map(|(_, r)| r).collect()
+}
+
+/// Folds `0..n` with one contiguous ascending slice per worker and **no
+/// work stealing**: the item-to-worker map is a pure function of
+/// `(n, workers)`, so for a fixed worker count every run executes every
+/// index on the same worker in the same order — the determinism the
+/// privatized tally reduction relies on. Worker `w`'s accumulator starts
+/// as `init(w)`; accumulators come back in worker order (worker 0 is the
+/// calling thread). [`current_worker_index`] is set inside `fold`, and
+/// multi-worker regions record [`RegionStats`] with zero steal counters.
+pub fn static_partition_fold<Acc, Init, F>(n: usize, init: Init, fold: F) -> Vec<Acc>
+where
+    Acc: Send,
+    Init: Fn(usize) -> Acc + Sync,
+    F: Fn(Acc, usize) -> Acc + Sync,
+{
+    let workers = current_num_threads().clamp(1, n.max(1));
+    if workers <= 1 {
+        LAST_REGION.with(|s| *s.borrow_mut() = None);
+        let _wi = enter_worker(0);
+        let mut acc = init(0);
+        for i in 0..n {
+            acc = fold(acc, i);
+        }
+        return vec![acc];
+    }
+
+    let slices = split_ranges(n, workers);
+    let run_one = |me: usize, range: Range<usize>| -> (WorkerLog, Acc) {
+        let _wi = enter_worker(me);
+        let items = range.len() as u64;
+        let t0 = Instant::now();
+        let mut acc = init(me);
+        for i in range {
+            acc = fold(acc, i);
+        }
+        let busy = t0.elapsed();
+        (WorkerLog { busy, items, steal_attempts: 0, steals: 0 }, acc)
+    };
+    let run_one = &run_one;
+    let mut results: Vec<(WorkerLog, Acc)> = std::thread::scope(|s| {
+        let handles: Vec<_> = slices[1..]
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(k, r)| s.spawn(move || run_one(k + 1, r)))
+            .collect();
+        let mine = run_one(0, slices[0].clone());
+        let mut all = vec![mine];
+        all.extend(handles.into_iter().map(|h| h.join().expect("worker panicked")));
+        all
+    });
+
+    let mut stats = RegionStats {
+        workers,
+        busy_s: Vec::with_capacity(workers),
+        items: Vec::with_capacity(workers),
+        steal_attempts: 0,
+        steals: 0,
+    };
+    for (log, _) in &results {
+        stats.busy_s.push(log.busy.as_secs_f64());
+        stats.items.push(log.items);
     }
     LAST_REGION.with(|s| *s.borrow_mut() = Some(stats));
     results.drain(..).map(|(_, r)| r).collect()
@@ -782,5 +938,114 @@ mod tests {
         // Worker 0 cannot have executed its whole seeded slice alone
         // while others idled: the max items share must be below 100%.
         assert!(stats.items.iter().all(|&n| n < 1024));
+    }
+
+    #[test]
+    fn worker_index_is_set_inside_regions_and_cleared_outside() {
+        assert_eq!(crate::current_worker_index(), None);
+        pool(4).install(|| {
+            (0..256u32).into_par_iter().for_each(|_| {
+                let w = crate::current_worker_index().expect("index set in region");
+                assert!(w < 4);
+            });
+        });
+        let _ = crate::take_last_region_stats();
+        assert_eq!(crate::current_worker_index(), None);
+    }
+
+    #[test]
+    fn static_partition_fold_covers_every_index_in_worker_order() {
+        for workers in [1, 2, 8] {
+            pool(workers).install(|| {
+                let n = 4321usize;
+                let accs = crate::static_partition_fold(
+                    n,
+                    |_w| Vec::new(),
+                    |mut acc: Vec<usize>, i| {
+                        acc.push(i);
+                        acc
+                    },
+                );
+                assert_eq!(accs.len(), workers.min(n));
+                // Accumulators are contiguous ascending slices that
+                // concatenate to 0..n exactly.
+                let flat: Vec<usize> = accs.concat();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "workers={workers}");
+            });
+        }
+    }
+
+    #[test]
+    fn static_partition_fold_assignment_is_deterministic() {
+        // Same (n, workers) must map every index to the same worker on
+        // every run — the contract the privatized tallies rely on.
+        let run = || {
+            pool(4).install(|| {
+                crate::static_partition_fold(
+                    1003,
+                    |w| (w, Vec::new()),
+                    |(w, mut acc): (usize, Vec<usize>), i| {
+                        acc.push(i);
+                        (w, acc)
+                    },
+                )
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn static_partition_fold_records_stats_without_steals() {
+        pool(4).install(|| {
+            let _ = crate::static_partition_fold(1000, |_| 0u64, |acc, i| acc + i as u64);
+        });
+        let stats = crate::take_last_region_stats().expect("multi-worker stats");
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.steal_attempts, 0);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.items.iter().sum::<u64>(), 1000);
+        // Serial regions clear the slot, like the stealing scheduler.
+        pool(1).install(|| {
+            let _ = crate::static_partition_fold(10, |_| (), |(), _| ());
+        });
+        assert!(crate::take_last_region_stats().is_none());
+    }
+
+    #[test]
+    fn worker_local_slots_are_private_per_worker() {
+        for workers in [1, 2, 8] {
+            pool(workers).install(|| {
+                let n = 2000usize;
+                let counts = crate::WorkerLocal::new(workers, |_| 0u64);
+                let accs = crate::static_partition_fold(
+                    n,
+                    |_| 0u64,
+                    |acc, _| {
+                        counts.with(|c| *c += 1);
+                        acc + 1
+                    },
+                );
+                assert_eq!(accs.iter().sum::<u64>(), n as u64);
+                let mut counts = counts;
+                let total: u64 = counts.iter_mut().map(|c| *c).sum();
+                assert_eq!(total, n as u64, "workers={workers}");
+            });
+        }
+    }
+
+    #[test]
+    fn worker_local_works_under_the_stealing_scheduler() {
+        pool(4).install(|| {
+            let n = 5000u32;
+            let hits = crate::WorkerLocal::new(4, |_| 0u64);
+            (0..n).into_par_iter().for_each(|_| {
+                hits.with(|h| *h += 1);
+            });
+            let _ = crate::take_last_region_stats();
+            let mut hits = hits;
+            assert_eq!(hits.iter_mut().map(|h| *h).sum::<u64>(), n as u64);
+        });
     }
 }

@@ -21,6 +21,8 @@ fn representative_report() -> RunReport {
     r.set_meta("backend", "cpu");
     r.set_meta("mode", "otf");
     r.set_meta("schedule", "l3_sorted");
+    r.set_meta("tallies", "auto");
+    r.set_meta("exp", "intrinsic");
     r.set_meta_num("decomposition_domains", 1.0);
 
     r.spans.insert("eigen".into(), SpanStats { count: 1, total_s: 2.5, min_s: 2.5, max_s: 2.5 });
@@ -47,6 +49,8 @@ fn representative_report() -> RunReport {
     r.gauges
         .insert("solver.flux_bank_bytes".into(), GaugeStats { last: 65536.0, high_water: 65536.0 });
     r.gauges.insert("sweep.load_ratio".into(), GaugeStats { last: 1.125, high_water: 1.25 });
+    r.gauges
+        .insert("sweep.tally_bytes".into(), GaugeStats { last: 389256.0, high_water: 1557024.0 });
     r.gauges.insert("sweep.worker_busy_max_s".into(), GaugeStats { last: 0.5, high_water: 0.5 });
     r.gauges.insert("sweep.worker_busy_mean_s".into(), GaugeStats { last: 0.4, high_water: 0.45 });
 
@@ -72,6 +76,16 @@ fn representative_report() -> RunReport {
                     Json::Uint(996),
                 ]),
             ),
+        ]),
+    );
+    // The tally/exp kernel resolution, in the exact shape the arena sweep
+    // emits.
+    r.set_section(
+        "sweep_kernel",
+        Json::Obj(vec![
+            ("tally_mode".into(), Json::Str("privatized".into())),
+            ("exp_mode".into(), Json::Str("intrinsic".into())),
+            ("workers".into(), Json::Uint(4)),
         ]),
     );
     r.set_section("balance", Json::Obj(vec![("k_balance".into(), Json::Num(1.18))]));
@@ -149,6 +163,13 @@ fn golden_file_round_trips_losslessly() {
     assert!(parsed.gauges.contains_key("sweep.worker_busy_max_s"));
     assert!(parsed.gauges.contains_key("sweep.worker_busy_mean_s"));
     assert!(parsed.sections.contains_key("sweep_workers"));
+    // The tally-kernel keys from the privatized-tallies PR.
+    assert_eq!(parsed.counter("sweep.cas_retries"), 3);
+    assert!(parsed.gauges.contains_key("sweep.tally_bytes"));
+    let kernel = parsed.sections.get("sweep_kernel").expect("sweep_kernel section");
+    assert_eq!(kernel.get("tally_mode").and_then(Json::as_str), Some("privatized"));
+    assert_eq!(kernel.get("exp_mode").and_then(Json::as_str), Some("intrinsic"));
+    assert_eq!(kernel.get("workers").and_then(Json::as_u64), Some(4));
     // The fault-injection keys: counters plus the `fault` and `rebalance`
     // sections with their event structure.
     assert_eq!(parsed.counter("comm.retries"), 5);
