@@ -75,6 +75,13 @@ fn main() -> ExitCode {
     }
     let report = run_artifact(&outcome);
     report.write_json(REPORT_PATH).expect("write perf-smoke report");
+    // When the run was traced (ANTMOC_TRACE=1 in the CI job), the event
+    // timeline lands next to the report for artifact upload.
+    if let Some(path) =
+        antmoc::write_trace_artifact("results", "perf_smoke").expect("write trace artifact")
+    {
+        println!("perf-smoke: wrote {}", path.display());
+    }
 
     let Some(throughput) = sweep_throughput(&report) else {
         eprintln!("perf-smoke: artifact has no sweep telemetry (segments or spans missing)");

@@ -99,18 +99,26 @@ impl Comm {
         timeout: Duration,
     ) -> Result<T, RecvTimeout> {
         assert!(from < self.size, "recv from rank {from} of {}", self.size);
-        // Check the reorder buffer first.
+        // Check the reorder buffer first (an already-delivered message
+        // costs no wait, so it records nothing).
         if let Some(pos) = self.pending[from].iter().position(|m| m.tag == tag) {
             let msg = self.pending[from].remove(pos).unwrap();
             return Ok(self.unpack(msg));
         }
-        let deadline = std::time::Instant::now() + timeout;
+        let t_wait = std::time::Instant::now();
+        let deadline = t_wait + timeout;
+        let record_wait = |t0: std::time::Instant| {
+            antmoc_telemetry::Telemetry::global()
+                .histogram_record("comm.recv_wait_ns", t0.elapsed().as_nanos() as u64);
+        };
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             let Ok(msg) = self.receivers[from].recv_timeout(remaining) else {
+                record_wait(t_wait);
                 return Err(RecvTimeout { from, tag });
             };
             if msg.tag == tag {
+                record_wait(t_wait);
                 return Ok(self.unpack(msg));
             }
             self.pending[from].push_back(msg);
@@ -143,7 +151,9 @@ impl Comm {
     /// reduce, broadcast). `op` must be associative and commutative.
     pub fn allreduce_f64(&mut self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
         const TAG: u32 = u32::MAX - 1;
-        antmoc_telemetry::Telemetry::global().counter_add("comm.allreduce_calls", 1);
+        let tel = antmoc_telemetry::Telemetry::global();
+        tel.counter_add("comm.allreduce_calls", 1);
+        let _scope = tel.trace_scope("comm.allreduce", &[]);
         if self.rank == 0 {
             let mut acc = value;
             for from in 1..self.size {
@@ -173,7 +183,9 @@ impl Comm {
     /// Gathers one value per rank to every rank (all-gather).
     pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
         const TAG: u32 = u32::MAX - 2;
-        antmoc_telemetry::Telemetry::global().counter_add("comm.allgather_calls", 1);
+        let tel = antmoc_telemetry::Telemetry::global();
+        tel.counter_add("comm.allgather_calls", 1);
+        let _scope = tel.trace_scope("comm.allgather", &[]);
         if self.rank == 0 {
             let mut all = vec![value];
             for from in 1..self.size {
@@ -192,7 +204,9 @@ impl Comm {
     /// Broadcast from rank 0.
     pub fn broadcast<T: Clone + Send + 'static>(&mut self, value: Option<T>) -> T {
         const TAG: u32 = u32::MAX - 3;
-        antmoc_telemetry::Telemetry::global().counter_add("comm.broadcast_calls", 1);
+        let tel = antmoc_telemetry::Telemetry::global();
+        tel.counter_add("comm.broadcast_calls", 1);
+        let _scope = tel.trace_scope("comm.broadcast", &[]);
         if self.rank == 0 {
             let v = value.expect("rank 0 must provide the broadcast value");
             for to in 1..self.size {

@@ -6,6 +6,8 @@
 //! fission-production ratio, normalise, repeat until the fission-source
 //! RMS residual drops below tolerance (Fig. 2's transport-solving stage).
 
+use antmoc_telemetry::Json;
+
 use crate::checkpoint::{CheckpointStore, SolverCheckpoint};
 use crate::problem::Problem;
 use crate::schedule::SweepSchedule;
@@ -164,7 +166,11 @@ pub fn solve_eigenvalue_resumable(
     for it in start..=opts.max_iterations {
         iterations = it;
         compute_reduced_source(problem, &phi, k, &mut q);
+        let t_sweep = std::time::Instant::now();
+        let cas_before = tel.counter_value("sweep.cas_retries");
         let out = sweeper.sweep(problem, &q, &banks);
+        let sweep_s = t_sweep.elapsed().as_secs_f64();
+        let it_segments = out.segments;
         total_segments += out.segments;
         update_scalar_flux(problem, &q, &out.phi_acc, &mut phi);
         sweeper.recycle(out);
@@ -192,10 +198,29 @@ pub fn solve_eigenvalue_resumable(
 
         banks.swap();
 
+        let mut checkpointed = false;
         if let Some((store, key, every)) = checkpoint {
             if every > 0 && it % every == 0 {
                 store.save(key, &SolverCheckpoint::capture(it, k, &phi, &old_density, &banks));
+                checkpointed = true;
             }
+        }
+
+        let cas_delta = tel.counter_value("sweep.cas_retries").wrapping_sub(cas_before);
+        tel.append_iteration(Json::Obj(vec![
+            ("it".into(), Json::Uint(it as u64)),
+            ("k".into(), Json::Num(k)),
+            ("residual".into(), Json::Num(res)),
+            ("sweep_s".into(), Json::Num(sweep_s)),
+            ("segments".into(), Json::Uint(it_segments)),
+            ("cas_retries".into(), Json::Uint(cas_delta)),
+            ("checkpoint".into(), Json::Bool(checkpointed)),
+        ]));
+        if tel.trace_enabled() {
+            tel.trace_instant(
+                "eigen.iteration",
+                &[("it", Json::Uint(it as u64)), ("k", Json::Num(k)), ("residual", Json::Num(res))],
+            );
         }
 
         // Require a couple of iterations before trusting the residual.

@@ -88,7 +88,9 @@ pub fn solve_fixed_source(
             }
         });
 
+        let t_sweep = std::time::Instant::now();
         let out = sweeper.sweep(problem, &q, &banks);
+        let sweep_s = t_sweep.elapsed().as_secs_f64();
         let old = phi.clone();
         update_scalar_flux(problem, &q, &out.phi_acc, &mut phi);
         sweeper.recycle(out);
@@ -105,6 +107,11 @@ pub fn solve_fixed_source(
         let res = if cnt > 0 { (ss / cnt as f64).sqrt() } else { 0.0 };
         residuals.push(res);
         banks.swap();
+        tel.append_iteration(antmoc_telemetry::Json::Obj(vec![
+            ("it".into(), antmoc_telemetry::Json::Uint(it as u64)),
+            ("residual".into(), antmoc_telemetry::Json::Num(res)),
+            ("sweep_s".into(), antmoc_telemetry::Json::Num(sweep_s)),
+        ]));
         if it >= 2 && res < opts.tolerance {
             converged = true;
             break;

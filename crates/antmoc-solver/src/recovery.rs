@@ -319,6 +319,18 @@ pub fn solve_cluster_recovering(
         if start_iteration == 1 {
             store.clear();
         }
+        if tel.trace_enabled() {
+            tel.trace_instant(
+                "recovery.rebalance",
+                &[
+                    ("died_rank", Json::Uint(died_rank as u64)),
+                    ("at_iteration", Json::Uint(at_iteration as u64)),
+                    ("restart_iteration", Json::Uint(start_iteration as u64)),
+                    ("survivors", Json::Uint(alive.len() as u64)),
+                    ("migrated", Json::Uint(rb.migrated as u64)),
+                ],
+            );
+        }
         rebalances.push(RebalanceEvent {
             died_rank,
             at_iteration,
@@ -605,12 +617,20 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
     let mut iterations = 0;
     let mut executed = 0usize;
     let mut scratch32: Vec<f32> = Vec::new();
+    // Iteration rows and trace markers come from slot 0 only: every
+    // executor walks the same generation loop, and duplicate rows would
+    // misreport the series.
+    let tel = antmoc_telemetry::Telemetry::global();
+    let narrate = slot == 0;
 
     for it in start..=opts.max_iterations {
         // The simulated failure detector: every executor knows the death
         // schedule and unwinds at the same iteration boundary.
         if let Some((_, death_it)) = ctx.death {
             if it == death_it {
+                if narrate && tel.trace_enabled() {
+                    tel.trace_instant("recovery.death", &[("it", Json::Uint(it as u64))]);
+                }
                 return Ok(SlotOutcome::Interrupted { at_iteration: it, executed });
             }
         }
@@ -618,6 +638,7 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
         let fail = |e: CommError| (it, executed, e);
 
         // Sweep every hosted subdomain.
+        let t_sweep = std::time::Instant::now();
         for &sub in &my_subs {
             let problem = &decomp.problems[sub];
             let st = states.get_mut(&sub).unwrap();
@@ -642,6 +663,7 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
                 arena.recycle(out);
             }
         }
+        let sweep_s = t_sweep.elapsed().as_secs_f64();
 
         // Global production ratio and residual from canonical sums.
         let mut densities: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
@@ -736,12 +758,26 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
         // Checkpoint after the exchange: the stored state is exactly
         // "ready to begin iteration it + 1".
         let every = ctx.rec.checkpoint_interval;
-        if every > 0 && it % every == 0 {
+        let checkpointed = every > 0 && it % every == 0;
+        if checkpointed {
             for (&sub, st) in states.iter() {
                 ctx.store.save(
                     sub,
                     &SolverCheckpoint::capture(it, k, &st.phi, &st.old_density, &st.banks),
                 );
+            }
+        }
+
+        if narrate {
+            tel.append_iteration(Json::Obj(vec![
+                ("it".into(), Json::Uint(it as u64)),
+                ("k".into(), Json::Num(k)),
+                ("residual".into(), Json::Num(res)),
+                ("sweep_s".into(), Json::Num(sweep_s)),
+                ("checkpoint".into(), Json::Bool(checkpointed)),
+            ]));
+            if checkpointed && tel.trace_enabled() {
+                tel.trace_instant("recovery.checkpoint", &[("it", Json::Uint(it as u64))]);
             }
         }
 

@@ -10,10 +10,11 @@
 //! domain-decomposed solver ships between ranks.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Instant;
 
 use rayon::prelude::*;
 
-use antmoc_telemetry::{Json, Telemetry};
+use antmoc_telemetry::{Histogram, Json, Telemetry};
 use antmoc_track::{trace_3d, Link3d, SegmentStore3d, Track3dId, Track3dInfo, TrackId};
 
 use crate::exptable::ExpEval;
@@ -235,13 +236,24 @@ impl FluxBanks {
 /// equivalent of the GPU `atomicAdd` the paper uses for FSR flux tallies).
 #[inline]
 pub fn atomic_add_f64(slot: &AtomicU64, value: f64) {
+    atomic_add_f64_counted(slot, value);
+}
+
+/// [`atomic_add_f64`] that also reports the CAS retries this one call
+/// burned, letting the arena sweep histogram per-track retry *bursts*
+/// (a mean hides the pathological hot-FSR track the paper's contention
+/// analysis cares about). Arithmetic is identical to the uncounted form.
+#[inline]
+pub(crate) fn atomic_add_f64_counted(slot: &AtomicU64, value: f64) -> u32 {
     let mut cur = slot.load(Ordering::Relaxed);
+    let mut retries = 0u32;
     loop {
         let next = (f64::from_bits(cur) + value).to_bits();
         match slot.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
-            Ok(_) => return,
+            Ok(_) => return retries,
             Err(c) => {
                 CAS_RETRIES.fetch_add(1, Ordering::Relaxed);
+                retries += 1;
                 cur = c;
             }
         }
@@ -430,19 +442,33 @@ pub fn transport_sweep_scheduled(
     let nf = problem.num_fsrs() * problem.num_groups();
     let phi_acc: Vec<AtomicU64> = (0..nf).map(|_| AtomicU64::new(0)).collect();
 
+    let workers = rayon::current_num_threads().clamp(1, n.max(1));
+    let track_ns = rayon::WorkerLocal::new(workers, |_| Histogram::new());
+    let tracing = tel.trace_enabled();
+
     let (segments, leakage) = (0..n)
         .into_par_iter()
         .fold(
             || (Vec::new(), 0u64, 0.0f64),
             |(mut scratch, segs, leak), i| {
                 let t = schedule.track_at(i);
+                let t0 = Instant::now();
                 let (s, l) = sweep_one_track(problem, segsrc, q, &phi_acc, banks, t, &mut scratch);
+                track_ns.with(|h| h.record(t0.elapsed().as_nanos() as u64));
+                if tracing {
+                    tel.trace_complete_since(
+                        "track",
+                        t0,
+                        &[("track", Json::Uint(t as u64)), ("segments", Json::Uint(s))],
+                    );
+                }
                 (scratch, segs + s, leak + l)
             },
         )
         .map(|(_, s, l)| (s, l))
         .reduce(|| (0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
 
+    merge_track_histograms(tel, track_ns);
     if let Some(stats) = rayon::take_last_region_stats() {
         record_scheduler_stats(tel, &stats);
     }
@@ -451,6 +477,16 @@ pub fn transport_sweep_scheduled(
     tel.counter_add("sweep.tracks", problem.num_tracks() as u64);
     let retries = CAS_RETRIES.load(Ordering::Relaxed).wrapping_sub(retries_before);
     tel.counter_add("sweep.cas_retries", retries);
+    if tracing {
+        tel.trace_instant(
+            "sweep.summary",
+            &[
+                ("tracks", Json::Uint(n as u64)),
+                ("segments", Json::Uint(segments)),
+                ("cas_retries", Json::Uint(retries)),
+            ],
+        );
+    }
 
     SweepOutcome {
         phi_acc: phi_acc.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))).collect(),
@@ -496,17 +532,26 @@ pub fn transport_sweep_with(
     arena.prepare(workers, nf, strategy);
     let mut phi = arena.take_phi(nf);
 
+    let track_ns = rayon::WorkerLocal::new(workers, |_| Histogram::new());
+    let tracing = tel.trace_enabled();
+
     let (segments, leakage) = match strategy {
         SweepTallies::Atomic => {
             let phi_slots = arena.atomic_slots();
             let scratch_bufs = arena.scratch_bufs();
             let exp = arena.exp_eval();
+            // Per-track CAS-retry bursts: the counter below totals them,
+            // but contention is bursty (a few hot-FSR tracks), so the
+            // distribution is the signal.
+            let cas_burst = rayon::WorkerLocal::new(workers, |_| Histogram::new());
             let out = (0..n)
                 .into_par_iter()
                 .fold(
                     || (0u64, 0.0f64),
                     |(segs, leak), i| {
                         let t = schedule.track_at(i);
+                        let t0 = Instant::now();
+                        let mut burst = 0u32;
                         let (s, l) = scratch_bufs.with(|scratch| {
                             sweep_track_kernel(
                                 problem,
@@ -516,13 +561,26 @@ pub fn transport_sweep_with(
                                 t,
                                 scratch,
                                 &exp,
-                                |slot, v| atomic_add_f64(&phi_slots[slot], v),
+                                |slot, v| burst += atomic_add_f64_counted(&phi_slots[slot], v),
                             )
                         });
+                        track_ns.with(|h| h.record(t0.elapsed().as_nanos() as u64));
+                        cas_burst.with(|h| h.record(burst as u64));
+                        if tracing {
+                            tel.trace_complete_since(
+                                "track",
+                                t0,
+                                &[("track", Json::Uint(t as u64)), ("segments", Json::Uint(s))],
+                            );
+                        }
                         (segs + s, leak + l)
                     },
                 )
                 .reduce(|| (0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
+            let mut cas_burst = cas_burst;
+            for h in cas_burst.iter_mut() {
+                tel.histogram_merge("sweep.cas_burst", h);
+            }
             for (acc, slot) in phi.iter_mut().zip(phi_slots) {
                 *acc = f64::from_bits(slot.load(Ordering::Relaxed));
             }
@@ -538,6 +596,7 @@ pub fn transport_sweep_with(
                     |_w| (0u64, 0.0f64),
                     |(segs, leak), i| {
                         let t = schedule.track_at(i);
+                        let t0 = Instant::now();
                         let (s, l) = scratch_bufs.with(|scratch| {
                             worker_bufs.with(|buf| {
                                 sweep_track_kernel(
@@ -552,6 +611,14 @@ pub fn transport_sweep_with(
                                 )
                             })
                         });
+                        track_ns.with(|h| h.record(t0.elapsed().as_nanos() as u64));
+                        if tracing {
+                            tel.trace_complete_since(
+                                "track",
+                                t0,
+                                &[("track", Json::Uint(t as u64)), ("segments", Json::Uint(s))],
+                            );
+                        }
                         (segs + s, leak + l)
                     },
                 )
@@ -569,6 +636,8 @@ pub fn transport_sweep_with(
         }
     };
 
+    merge_track_histograms(tel, track_ns);
+
     if let Some(stats) = rayon::take_last_region_stats() {
         record_scheduler_stats(tel, &stats);
     }
@@ -578,6 +647,16 @@ pub fn transport_sweep_with(
     // A zero delta still creates the key: the quiet counter is the point.
     let retries = CAS_RETRIES.load(Ordering::Relaxed).wrapping_sub(retries_before);
     tel.counter_add("sweep.cas_retries", retries);
+    if tracing {
+        tel.trace_instant(
+            "sweep.summary",
+            &[
+                ("tracks", Json::Uint(n as u64)),
+                ("segments", Json::Uint(segments)),
+                ("cas_retries", Json::Uint(retries)),
+            ],
+        );
+    }
     tel.gauge_set("sweep.tally_bytes", strategy.bytes(nf) as f64);
     tel.set_section(
         "sweep_kernel",
@@ -589,6 +668,14 @@ pub fn transport_sweep_with(
     );
 
     SweepOutcome { phi_acc: phi, leakage, segments }
+}
+
+/// Folds the per-worker track-latency shards into the registry's
+/// `sweep.track_ns` histogram after the parallel region ends.
+fn merge_track_histograms(tel: &Telemetry, mut shards: rayon::WorkerLocal<Histogram>) {
+    for h in shards.iter_mut() {
+        tel.histogram_merge("sweep.track_ns", h);
+    }
 }
 
 /// Records one sweep's scheduler stats: steal counters, the max/mean
@@ -608,11 +695,15 @@ pub fn record_scheduler_stats(tel: &Telemetry, stats: &rayon::RegionStats) {
     tel.gauge_set("sweep.load_ratio", stats.load_ratio());
     tel.gauge_set("sweep.worker_busy_max_s", max);
     tel.gauge_set("sweep.worker_busy_mean_s", mean);
+    for &w in &stats.wait_s {
+        tel.histogram_record("sweep.steal_wait_ns", (w * 1e9) as u64);
+    }
     tel.set_section(
         "sweep_workers",
         Json::Obj(vec![
             ("workers".into(), Json::Uint(stats.workers as u64)),
             ("busy_s".into(), Json::Arr(stats.busy_s.iter().map(|&b| Json::Num(b)).collect())),
+            ("wait_s".into(), Json::Arr(stats.wait_s.iter().map(|&w| Json::Num(w)).collect())),
             ("items".into(), Json::Arr(stats.items.iter().map(|&i| Json::Uint(i)).collect())),
         ]),
     );
@@ -854,6 +945,7 @@ mod tests {
         let stats = rayon::RegionStats {
             workers: 1,
             busy_s: vec![0.5],
+            wait_s: vec![0.0],
             items: vec![100],
             steal_attempts: 0,
             steals: 0,
@@ -874,6 +966,7 @@ mod tests {
         let stats = rayon::RegionStats {
             workers: 2,
             busy_s: vec![0.3, 0.1],
+            wait_s: vec![0.0, 0.05],
             items: vec![60, 40],
             steal_attempts: 5,
             steals: 3,
@@ -886,6 +979,9 @@ mod tests {
         assert!((r.gauges["sweep.worker_busy_max_s"].last - 0.3).abs() < 1e-12);
         assert!((r.gauges["sweep.worker_busy_mean_s"].last - 0.2).abs() < 1e-12);
         assert!(r.sections.contains_key("sweep_workers"));
+        let waits = &r.histograms["sweep.steal_wait_ns"];
+        assert_eq!(waits.count, 2);
+        assert_eq!(waits.max, 50_000_000);
     }
 
     #[test]

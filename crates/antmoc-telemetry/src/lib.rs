@@ -22,31 +22,104 @@
 //! `report()` at the end without threading a handle through every
 //! signature.
 
+pub mod hist;
 pub mod json;
 mod report;
+pub mod trace;
 
+pub use hist::{Histogram, HistogramSummary};
 pub use json::Json;
 pub use report::{GaugeStats, RunReport, SpanStats};
+pub use trace::{TraceEvent, DEFAULT_TRACE_CAPACITY};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
-thread_local! {
-    /// The active span-name stack on this thread; drives path nesting.
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+use trace::TraceCollector;
+
+/// One registry's span-name stack on one thread.
+struct ThreadSpanStack {
+    registry: u64,
+    /// The registry's reset generation this stack belongs to; a stale
+    /// generation means `reset()` ran and the stack is garbage.
+    generation: u64,
+    stack: Vec<&'static str>,
 }
 
-#[derive(Default)]
+thread_local! {
+    /// Active span-name stacks on this thread, one per registry; drives
+    /// path nesting. Keyed by registry id so private test instances and
+    /// the global instance never interleave paths.
+    static SPAN_STACKS: RefCell<Vec<ThreadSpanStack>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on this thread's stack for `registry`, first discarding the
+/// stack if it belongs to an older reset generation (the satellite fix:
+/// spans leaked by a panic or `mem::forget` must not corrupt the paths of
+/// the next measured run).
+fn with_span_stack<R>(
+    registry: u64,
+    generation: u64,
+    f: impl FnOnce(&mut Vec<&'static str>) -> R,
+) -> R {
+    SPAN_STACKS.with(|cell| {
+        let mut stacks = cell.borrow_mut();
+        // Drop finished stacks of other registries so long-lived threads
+        // touching many short-lived instances stay bounded.
+        stacks.retain(|s| s.registry == registry || !s.stack.is_empty());
+        let idx = match stacks.iter().position(|s| s.registry == registry) {
+            Some(i) => i,
+            None => {
+                stacks.push(ThreadSpanStack { registry, generation, stack: Vec::new() });
+                stacks.len() - 1
+            }
+        };
+        let entry = &mut stacks[idx];
+        if entry.generation != generation {
+            entry.stack.clear();
+            entry.generation = generation;
+        }
+        f(&mut entry.stack)
+    })
+}
+
 struct Registry {
+    /// Process-unique id; keys the per-thread span stacks and trace
+    /// buffers so distinct instances stay isolated.
+    id: u64,
+    /// Bumped by `reset()`; invalidates every thread's span stack.
+    span_generation: AtomicU64,
     spans: Mutex<BTreeMap<String, SpanStats>>,
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, GaugeStats>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    iterations: Mutex<Vec<Json>>,
     meta: Mutex<BTreeMap<String, Json>>,
     sections: Mutex<BTreeMap<String, Json>>,
+    trace: Arc<TraceCollector>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        Self {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            span_generation: AtomicU64::new(0),
+            spans: Mutex::default(),
+            counters: Mutex::default(),
+            gauges: Mutex::default(),
+            histograms: Mutex::default(),
+            iterations: Mutex::default(),
+            meta: Mutex::default(),
+            sections: Mutex::default(),
+            trace: Arc::new(TraceCollector::new()),
+        }
+    }
 }
 
 /// A cloneable handle to a telemetry registry.
@@ -75,12 +148,12 @@ impl Telemetry {
     /// Names are `&'static str` on purpose: hot paths must not allocate
     /// to be observable.
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
-        let path = SPAN_STACK.with(|stack| {
-            let mut stack = stack.borrow_mut();
+        let generation = self.registry.span_generation.load(Ordering::Relaxed);
+        let path = with_span_stack(self.registry.id, generation, |stack| {
             stack.push(name);
             stack.join("/")
         });
-        SpanGuard { telemetry: self, path: Some(path), start: Instant::now() }
+        SpanGuard { telemetry: self, path: Some(path), generation, start: Instant::now() }
     }
 
     /// Adds to a counter, saturating at `u64::MAX` (a tripped counter
@@ -92,6 +165,13 @@ impl Telemetry {
         *slot = slot.saturating_add(delta);
     }
 
+    /// Current value of a counter (0 if it has never been touched).
+    /// Drivers snapshot this around a sweep to attribute deltas (e.g.
+    /// CAS retries per iteration) in their iteration rows.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.registry.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
     /// Sets a gauge's current level and folds it into the high-water
     /// mark.
     pub fn gauge_set(&self, name: &'static str, value: f64) {
@@ -99,6 +179,127 @@ impl Telemetry {
         let slot = gauges.entry(name).or_default();
         slot.last = value;
         slot.high_water = slot.high_water.max(value);
+    }
+
+    /// Records one sample into a named log-bucketed histogram (typically
+    /// nanoseconds; see [`Histogram`]). Takes the registry lock — on hot
+    /// paths, record into a private per-worker [`Histogram`] shard and
+    /// fold it in once via [`Telemetry::histogram_merge`].
+    pub fn histogram_record(&self, name: &'static str, value: u64) {
+        self.registry.histograms.lock().entry(name).or_default().record(value);
+    }
+
+    /// Folds a privately recorded shard into a named histogram; merging
+    /// is exact (see [`Histogram::merge`]). Empty shards are a no-op.
+    pub fn histogram_merge(&self, name: &'static str, shard: &Histogram) {
+        if shard.is_empty() {
+            return;
+        }
+        self.registry.histograms.lock().entry(name).or_default().merge(shard);
+    }
+
+    /// Appends one row to the per-iteration convergence series (the
+    /// report's `iterations` array). Rows are free-form JSON objects —
+    /// solvers record what they have (k-eff, residual, sweep seconds,
+    /// checkpoint markers) in execution order.
+    pub fn append_iteration(&self, row: Json) {
+        self.registry.iterations.lock().push(row);
+    }
+
+    /// Turns event-timeline tracing on or off and sets the global event
+    /// budget (hard memory cap; see [`trace`]). Enabling pins the trace
+    /// time origin. Off by default: with tracing off every recording
+    /// call is a single relaxed atomic load.
+    pub fn set_tracing(&self, enabled: bool, capacity_events: usize) {
+        self.registry.trace.set_enabled(enabled, capacity_events);
+    }
+
+    /// Whether event-timeline tracing is currently enabled.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.registry.trace.enabled()
+    }
+
+    /// Events discarded after the trace budget filled.
+    pub fn trace_dropped(&self) -> u64 {
+        self.registry.trace.dropped()
+    }
+
+    /// Records an instant event (a tick mark on this thread's timeline).
+    /// No-op (one atomic load) when tracing is off.
+    pub fn trace_instant(&self, name: &str, args: &[(&str, Json)]) {
+        if !self.trace_enabled() {
+            return;
+        }
+        self.registry.trace.record(
+            self.registry.id,
+            TraceEvent {
+                name: name.to_string(),
+                ph: 'i',
+                ts_us: trace::now_us(),
+                dur_us: 0,
+                args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            },
+        );
+    }
+
+    /// Records a complete (`ph: "X"`) slice from an existing caller-side
+    /// timer — hot paths that already hold an `Instant` for histogram
+    /// timing can reuse it instead of opening a [`Telemetry::trace_scope`]
+    /// (one fewer clock read). No-op when tracing is off.
+    pub fn trace_complete_since(&self, name: &str, start: Instant, args: &[(&str, Json)]) {
+        if !self.trace_enabled() {
+            return;
+        }
+        self.registry.trace.record(
+            self.registry.id,
+            TraceEvent {
+                name: name.to_string(),
+                ph: 'X',
+                ts_us: trace::instant_us(start),
+                dur_us: start.elapsed().as_micros() as u64,
+                args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            },
+        );
+    }
+
+    /// Opens a RAII timeline slice; dropping the guard records one
+    /// complete (`ph: "X"`) event covering the scope. Unlike
+    /// [`Telemetry::span`] this leaves the span aggregates untouched —
+    /// use it where a timeline entry is wanted without a new span path.
+    /// Inert (one atomic load, no allocation) when tracing is off.
+    pub fn trace_scope(&self, name: &str, args: &[(&str, Json)]) -> TraceScope<'_> {
+        if !self.trace_enabled() {
+            return TraceScope {
+                telemetry: None,
+                name: String::new(),
+                args: Vec::new(),
+                start: None,
+            };
+        }
+        TraceScope {
+            telemetry: Some(self),
+            name: name.to_string(),
+            args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// The Chrome `trace_event` document for everything traced so far.
+    pub fn trace_json(&self) -> Json {
+        self.registry.trace.to_chrome_json()
+    }
+
+    /// Writes the Chrome trace JSON artifact, creating parent
+    /// directories (open the file in `chrome://tracing` or Perfetto).
+    pub fn write_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.trace_json().to_pretty_string())
     }
 
     /// Attaches run identification carried into the report.
@@ -119,29 +320,49 @@ impl Telemetry {
 
     /// Snapshots all aggregates into a serializable report.
     pub fn report(&self) -> RunReport {
+        let mut counters: BTreeMap<String, u64> =
+            self.registry.counters.lock().iter().map(|(&k, &v)| (k.to_string(), v)).collect();
+        // Trace health surfaces as counters so report-diff can gate on
+        // event loss without parsing the trace file itself.
+        let stored = self.registry.trace.stored() as u64;
+        let dropped = self.registry.trace.dropped();
+        if stored > 0 || dropped > 0 {
+            counters.insert("trace.events".to_string(), stored);
+            counters.insert("trace.dropped".to_string(), dropped);
+        }
         RunReport {
             meta: self.registry.meta.lock().clone(),
             spans: self.registry.spans.lock().clone(),
-            counters: self
+            counters,
+            gauges: self.registry.gauges.lock().iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            histograms: self
                 .registry
-                .counters
+                .histograms
                 .lock()
                 .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
+                .map(|(&k, h)| (k.to_string(), h.summary()))
                 .collect(),
-            gauges: self.registry.gauges.lock().iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            iterations: self.registry.iterations.lock().clone(),
             sections: self.registry.sections.lock().clone(),
         }
     }
 
     /// Clears every aggregate — call at the start of a measured run when
-    /// using the global instance.
+    /// using the global instance. Also invalidates the span-name stacks
+    /// of every thread (spans leaked by panics or `mem::forget` would
+    /// otherwise prefix the next run's paths) and drops all trace
+    /// events; a span still open across a `reset()` is cancelled rather
+    /// than recorded into the fresh run.
     pub fn reset(&self) {
+        self.registry.span_generation.fetch_add(1, Ordering::Relaxed);
         self.registry.spans.lock().clear();
         self.registry.counters.lock().clear();
         self.registry.gauges.lock().clear();
+        self.registry.histograms.lock().clear();
+        self.registry.iterations.lock().clear();
         self.registry.meta.lock().clear();
         self.registry.sections.lock().clear();
+        self.registry.trace.reset();
     }
 
     fn record_span(&self, path: &str, seconds: f64) {
@@ -154,6 +375,9 @@ pub struct SpanGuard<'a> {
     telemetry: &'a Telemetry,
     /// `Some` until the guard fires; `take`n in drop.
     path: Option<String>,
+    /// The reset generation the guard was opened under; a mismatch at
+    /// drop means `reset()` intervened and the span is cancelled.
+    generation: u64,
     start: Instant,
 }
 
@@ -167,10 +391,58 @@ impl SpanGuard<'_> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let Some(path) = self.path.take() else { return };
-        SPAN_STACK.with(|stack| {
-            stack.borrow_mut().pop();
+        let registry = &self.telemetry.registry;
+        if registry.span_generation.load(Ordering::Relaxed) != self.generation {
+            // reset() ran while this span was open: the run it belongs
+            // to is gone, and the thread stack was (or will be)
+            // invalidated wholesale — do not pop or record.
+            return;
+        }
+        with_span_stack(registry.id, self.generation, |stack| {
+            stack.pop();
         });
-        self.telemetry.record_span(&path, self.start.elapsed().as_secs_f64());
+        let elapsed = self.start.elapsed();
+        self.telemetry.record_span(&path, elapsed.as_secs_f64());
+        if self.telemetry.trace_enabled() {
+            // Spans double as timeline slices, so enabling tracing lights
+            // up every already-instrumented phase for free.
+            registry.trace.record(
+                registry.id,
+                TraceEvent {
+                    name: path,
+                    ph: 'X',
+                    ts_us: trace::instant_us(self.start),
+                    dur_us: elapsed.as_micros() as u64,
+                    args: Vec::new(),
+                },
+            );
+        }
+    }
+}
+
+/// RAII guard created by [`Telemetry::trace_scope`]; emits one complete
+/// timeline event on drop (and nothing when tracing was off at open).
+pub struct TraceScope<'a> {
+    telemetry: Option<&'a Telemetry>,
+    name: String,
+    args: Vec<(String, Json)>,
+    start: Option<Instant>,
+}
+
+impl Drop for TraceScope<'_> {
+    fn drop(&mut self) {
+        let (Some(telemetry), Some(start)) = (self.telemetry, self.start) else { return };
+        let registry = &telemetry.registry;
+        registry.trace.record(
+            registry.id,
+            TraceEvent {
+                name: std::mem::take(&mut self.name),
+                ph: 'X',
+                ts_us: trace::instant_us(start),
+                dur_us: start.elapsed().as_micros() as u64,
+                args: std::mem::take(&mut self.args),
+            },
+        );
     }
 }
 
@@ -284,12 +556,138 @@ mod tests {
             let _s = t.span("s");
         }
         t.set_meta("case", "x");
+        t.histogram_record("h", 42);
+        t.append_iteration(Json::Obj(vec![("it".into(), Json::Uint(1))]));
+        t.set_tracing(true, 64);
+        t.trace_instant("tick", &[]);
         t.reset();
         let r = t.report();
         assert!(r.counters.is_empty());
         assert!(r.gauges.is_empty());
         assert!(r.spans.is_empty());
         assert!(r.meta.is_empty());
+        assert!(r.histograms.is_empty());
+        assert!(r.iterations.is_empty());
+    }
+
+    /// Regression: a span leaked on this thread (panicking scope,
+    /// `mem::forget`) used to poison the thread-local stack forever —
+    /// every later span on the thread nested under the ghost. `reset()`
+    /// must invalidate the stale stack.
+    #[test]
+    fn reset_clears_leaked_span_stacks() {
+        let t = Telemetry::new();
+        std::mem::forget(t.span("orphan"));
+        t.reset();
+        {
+            let _s = t.span("fresh");
+        }
+        let r = t.report();
+        assert!(r.spans.contains_key("fresh"), "got {:?}", r.spans.keys().collect::<Vec<_>>());
+        assert!(!r.spans.contains_key("orphan/fresh"), "leaked span still prefixes paths");
+    }
+
+    #[test]
+    fn span_open_across_reset_is_cancelled_not_recorded() {
+        let t = Telemetry::new();
+        let guard = t.span("stale");
+        t.reset();
+        drop(guard);
+        assert!(t.report().spans.is_empty(), "a span from before reset() must not record");
+        // And the next span path is clean.
+        {
+            let _s = t.span("next");
+        }
+        assert!(t.report().spans.contains_key("next"));
+    }
+
+    #[test]
+    fn instances_do_not_share_span_nesting() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        let _outer = a.span("outer");
+        {
+            let _inner = b.span("inner");
+        }
+        assert!(b.report().spans.contains_key("inner"), "instance b sees its own root span");
+        assert!(!b.report().spans.contains_key("outer/inner"));
+    }
+
+    #[test]
+    fn histogram_shards_merge_into_the_registry() {
+        let t = Telemetry::new();
+        let mut shard_a = Histogram::new();
+        let mut shard_b = Histogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                shard_a.record(v)
+            } else {
+                shard_b.record(v)
+            }
+        }
+        t.histogram_merge("lat", &shard_a);
+        t.histogram_merge("lat", &shard_b);
+        t.histogram_record("lat", 1_000_000);
+        let h = t.report().histograms["lat"];
+        assert_eq!(h.count, 101);
+        assert!(h.max >= 1_000_000);
+        // Empty shards merge as a no-op (no entry created).
+        t.histogram_merge("untouched", &Histogram::new());
+        assert!(!t.report().histograms.contains_key("untouched"));
+    }
+
+    #[test]
+    fn iteration_rows_keep_execution_order() {
+        let t = Telemetry::new();
+        for it in 1..=3u64 {
+            t.append_iteration(Json::Obj(vec![("it".into(), Json::Uint(it))]));
+        }
+        let rows = t.report().iterations;
+        let its: Vec<_> =
+            rows.iter().map(|r| r.get("it").and_then(Json::as_u64).unwrap()).collect();
+        assert_eq!(its, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tracing_feeds_spans_scopes_and_counters() {
+        let t = Telemetry::new();
+        t.set_tracing(true, 1024);
+        {
+            let _s = t.span("sweep");
+        }
+        {
+            let _ts = t.trace_scope("exchange", &[("bytes", Json::Uint(4096))]);
+        }
+        t.trace_instant("checkpoint", &[("it", Json::Uint(7))]);
+        let doc = t.trace_json();
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else { panic!("no traceEvents") };
+        let names: Vec<_> =
+            events.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+        assert!(names.contains(&"sweep"), "span slice missing: {names:?}");
+        assert!(names.contains(&"exchange"));
+        assert!(names.contains(&"checkpoint"));
+        let r = t.report();
+        assert_eq!(r.counter("trace.events"), 3);
+        assert_eq!(r.counter("trace.dropped"), 0);
+        // Spans still aggregate normally alongside the timeline.
+        assert_eq!(r.spans["sweep"].count, 1);
+    }
+
+    #[test]
+    fn tracing_off_records_no_events_or_counters() {
+        let t = Telemetry::new();
+        {
+            let _s = t.span("sweep");
+        }
+        t.trace_instant("tick", &[]);
+        let _ = t.trace_scope("scope", &[]);
+        let r = t.report();
+        assert_eq!(r.counter("trace.events"), 0);
+        assert!(!r.counters.contains_key("trace.events"));
+        let Some(Json::Arr(events)) = t.trace_json().get("traceEvents").cloned() else {
+            panic!("no traceEvents")
+        };
+        assert!(events.is_empty());
     }
 
     #[test]

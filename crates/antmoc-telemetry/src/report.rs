@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::Path;
 
+use crate::hist::HistogramSummary;
 use crate::json::{parse, Json, ParseError};
 
 /// Aggregated statistics for one span path.
@@ -56,18 +57,26 @@ pub struct GaugeStats {
 /// JSON schema (all sections optional-but-present, keys sorted):
 /// ```json
 /// {
-///   "meta":     { "<key>": <string|number>, ... },
-///   "spans":    { "<path>": {"count": N, "total_s": S, "min_s": S,
-///                            "max_s": S}, ... },
-///   "counters": { "<name>": N, ... },
-///   "gauges":   { "<name>": {"last": V, "high_water": V}, ... },
-///   "sections": { "<name>": <free-form JSON>, ... }
+///   "meta":       { "<key>": <string|number>, ... },
+///   "spans":      { "<path>": {"count": N, "total_s": S, "min_s": S,
+///                              "max_s": S}, ... },
+///   "counters":   { "<name>": N, ... },
+///   "gauges":     { "<name>": {"last": V, "high_water": V}, ... },
+///   "histograms": { "<name>": {"count": N, "p50": V, "p90": V,
+///                              "p99": V, "max": V}, ... },
+///   "iterations": [ { "it": N, ... }, ... ],
+///   "sections":   { "<name>": <free-form JSON>, ... }
 /// }
 /// ```
 /// Span paths are `/`-separated nesting chains (e.g.
 /// `eigen/transport_sweep`). Counters are event totals (segments swept,
 /// bytes sent); gauges are level samples with a retained high-water mark
-/// (resident bytes, pool usage). `sections` carries adjacent artifacts —
+/// (resident bytes, pool usage). `histograms` carries quantile summaries
+/// of log-bucketed distributions (per-track sweep nanoseconds, steal-loop
+/// wait, comm receive wait — always integer-valued, typically ns).
+/// `iterations` is the per-iteration convergence series: one free-form
+/// row per solver iteration (k-eff, residual, sweep seconds, checkpoint
+/// markers), in execution order. `sections` carries adjacent artifacts —
 /// the solver's neutron-balance report, the run summary — so one file
 /// describes the whole run.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -77,6 +86,10 @@ pub struct RunReport {
     pub spans: BTreeMap<String, SpanStats>,
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, GaugeStats>,
+    /// Quantile summaries of the log-bucketed histograms.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Per-iteration convergence rows, in execution order.
+    pub iterations: Vec<Json>,
     /// Adjacent machine-readable artifacts merged into this report.
     pub sections: BTreeMap<String, Json>,
 }
@@ -139,12 +152,31 @@ impl RunReport {
                 )
             })
             .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::Uint(h.count)),
+                        ("p50".into(), Json::Uint(h.p50)),
+                        ("p90".into(), Json::Uint(h.p90)),
+                        ("p99".into(), Json::Uint(h.p99)),
+                        ("max".into(), Json::Uint(h.max)),
+                    ]),
+                )
+            })
+            .collect();
+        let iterations = self.iterations.to_vec();
         let sections = self.sections.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         Json::Obj(vec![
             ("meta".into(), Json::Obj(meta)),
             ("spans".into(), Json::Obj(spans)),
             ("counters".into(), Json::Obj(counters)),
             ("gauges".into(), Json::Obj(gauges)),
+            ("histograms".into(), Json::Obj(histograms)),
+            ("iterations".into(), Json::Arr(iterations)),
             ("sections".into(), Json::Obj(sections)),
         ])
     }
@@ -192,6 +224,14 @@ impl RunReport {
         }
         if let Some(Json::Obj(pairs)) = doc.get("gauges") {
             for (k, v) in pairs {
+                // Non-finite gauge values serialize as `null` (see
+                // `json::write_f64`); round-trip those back to a skipped
+                // gauge instead of rejecting the whole report.
+                if matches!(v.get("last"), Some(Json::Null))
+                    || matches!(v.get("high_water"), Some(Json::Null))
+                {
+                    continue;
+                }
                 let field = |name: &str| {
                     v.get(name)
                         .and_then(Json::as_f64)
@@ -202,6 +242,28 @@ impl RunReport {
                     GaugeStats { last: field("last")?, high_water: field("high_water")? },
                 );
             }
+        }
+        if let Some(Json::Obj(pairs)) = doc.get("histograms") {
+            for (k, v) in pairs {
+                let field = |name: &str| {
+                    v.get(name)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad(&format!("histogram {k} missing {name}")))
+                };
+                report.histograms.insert(
+                    k.clone(),
+                    HistogramSummary {
+                        count: field("count")?,
+                        p50: field("p50")?,
+                        p90: field("p90")?,
+                        p99: field("p99")?,
+                        max: field("max")?,
+                    },
+                );
+            }
+        }
+        if let Some(Json::Arr(rows)) = doc.get("iterations") {
+            report.iterations = rows.clone();
         }
         if let Some(Json::Obj(pairs)) = doc.get("sections") {
             for (k, v) in pairs {
@@ -239,6 +301,17 @@ mod tests {
         r.counters.insert("sweep.segments".into(), 123_456_789_012);
         r.gauges
             .insert("device.pool_bytes".into(), GaugeStats { last: 1024.0, high_water: 4096.0 });
+        r.histograms.insert(
+            "sweep.track_ns".into(),
+            HistogramSummary { count: 4200, p50: 1500, p90: 3100, p99: 8200, max: 12345 },
+        );
+        r.iterations.push(Json::Obj(vec![
+            // Int, not Uint: free-form rows compare structurally after a
+            // round trip, and the parser canonicalizes small integers.
+            ("it".into(), Json::Int(1)),
+            ("k".into(), Json::Num(1.05)),
+            ("residual".into(), Json::Num(3.2e-3)),
+        ]));
         r.set_section("balance", Json::Obj(vec![("k_balance".into(), Json::Num(1.18))]));
         r
     }
@@ -275,5 +348,35 @@ mod tests {
         assert!(RunReport::from_json_str("{").is_err());
         let text = r#"{"counters": {"neg": -5}}"#;
         assert!(RunReport::from_json_str(text).is_err());
+        // Histogram summaries must be complete unsigned integers.
+        let text = r#"{"histograms": {"h": {"count": 1, "p50": 2}}}"#;
+        assert!(RunReport::from_json_str(text).is_err());
+    }
+
+    #[test]
+    fn null_gauge_round_trips_to_a_skipped_gauge() {
+        // Non-finite gauge values serialize as null; parsing must skip
+        // the gauge, not reject the report.
+        let mut r = sample_report();
+        r.gauges.insert("bad.ratio".into(), GaugeStats { last: f64::NAN, high_water: f64::NAN });
+        let text = r.to_json_string();
+        assert!(text.contains("null"), "non-finite gauges serialize as null");
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert!(!back.gauges.contains_key("bad.ratio"), "null gauge must be skipped");
+        // Everything else survives the trip.
+        assert!(back.gauges.contains_key("device.pool_bytes"));
+        let mut expect = r.clone();
+        expect.gauges.remove("bad.ratio");
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn histograms_and_iterations_round_trip() {
+        let r = sample_report();
+        let back = RunReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back.histograms["sweep.track_ns"].p99, 8200);
+        assert_eq!(back.iterations.len(), 1);
+        assert_eq!(back.iterations[0].get("it").and_then(Json::as_u64), Some(1));
+        assert_eq!(back, r);
     }
 }

@@ -40,6 +40,23 @@ pub fn write_run_artifact(
     Ok(artifact)
 }
 
+/// Writes the Chrome `trace_event` timeline next to the run report when
+/// tracing was enabled for the run; returns the path written, or `None`
+/// when tracing was off (no file is touched, so artifact directories
+/// stay clean for untraced runs).
+pub fn write_trace_artifact(
+    dir: impl AsRef<std::path::Path>,
+    case: &str,
+) -> std::io::Result<Option<std::path::PathBuf>> {
+    let tel = Telemetry::global();
+    if !tel.trace_enabled() {
+        return Ok(None);
+    }
+    let path = dir.as_ref().join(format!("{case}.trace.json"));
+    tel.write_trace(&path)?;
+    Ok(Some(path))
+}
+
 fn run_section(report: &RunReport) -> Json {
     Json::Obj(vec![
         ("keff".into(), Json::Num(report.keff)),

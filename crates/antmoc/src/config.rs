@@ -50,6 +50,10 @@
 //! max_restarts = 4
 //! kill_rank = 1            ; optional scheduled rank death...
 //! kill_iteration = 8       ; ...at this iteration
+//!
+//! [telemetry]
+//! trace = true             ; emit a Chrome trace_event timeline
+//! trace_cap = 65536        ; hard cap on stored trace events
 //! ```
 
 use std::collections::HashMap;
@@ -99,6 +103,25 @@ impl Default for FaultSettings {
     }
 }
 
+/// Observability settings (`[telemetry]`). Tracing is off by default —
+/// the timeline has a bounded but real memory cost — and can also be
+/// forced on per-run with `ANTMOC_TRACE=1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySettings {
+    /// Record an event timeline and export it as Chrome `trace_event`
+    /// JSON next to the run report.
+    pub trace: bool,
+    /// Hard cap on stored trace events; past it new events are dropped
+    /// (and counted in `trace.dropped`).
+    pub trace_cap: usize,
+}
+
+impl Default for TelemetrySettings {
+    fn default() -> Self {
+        Self { trace: false, trace_cap: antmoc_telemetry::DEFAULT_TRACE_CAPACITY }
+    }
+}
+
 /// The full run configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
@@ -119,6 +142,8 @@ pub struct RunConfig {
     pub balance_sweeps: usize,
     /// Fault injection and recovery (`[fault]`); disabled by default.
     pub fault: FaultSettings,
+    /// Tracing and timeline export (`[telemetry]`); off by default.
+    pub telemetry: TelemetrySettings,
 }
 
 impl Default for RunConfig {
@@ -134,6 +159,7 @@ impl Default for RunConfig {
             decomposition: (1, 1, 1),
             balance_sweeps: 0,
             fault: FaultSettings::default(),
+            telemetry: TelemetrySettings::default(),
         }
     }
 }
@@ -398,6 +424,15 @@ impl RunConfig {
             }
         }
 
+        // [telemetry]
+        cfg.telemetry.trace = parse_num(get("telemetry", "trace"), cfg.telemetry.trace)?;
+        cfg.telemetry.trace_cap =
+            parse_num(get("telemetry", "trace_cap"), cfg.telemetry.trace_cap)?;
+        if cfg.telemetry.trace_cap == 0 {
+            let line = get("telemetry", "trace_cap").map_or(0, |(l, _)| l);
+            return Err(ConfigError { line, message: "trace_cap must be >= 1".into() });
+        }
+
         Ok(cfg)
     }
 
@@ -566,6 +601,20 @@ nz = 2
         assert!(RunConfig::parse("[fault]\nkill_rank = 1\n").is_err());
         assert!(RunConfig::parse("[fault]\nkill_iteration = 5\n").is_err());
         assert!(RunConfig::parse("[fault]\nkill_rank = 1\nkill_iteration = 0\n").is_err());
+    }
+
+    #[test]
+    fn telemetry_section_parses() {
+        let cfg = RunConfig::parse("[telemetry]\ntrace = true\ntrace_cap = 1024\n").unwrap();
+        assert!(cfg.telemetry.trace);
+        assert_eq!(cfg.telemetry.trace_cap, 1024);
+        // Off by default with the library's default event budget.
+        let cfg = RunConfig::parse("[model]\ncase = c5g7\n").unwrap();
+        assert_eq!(cfg.telemetry, TelemetrySettings::default());
+        assert!(!cfg.telemetry.trace);
+        assert_eq!(cfg.telemetry.trace_cap, antmoc_telemetry::DEFAULT_TRACE_CAPACITY);
+        // A zero event budget is meaningless.
+        assert!(RunConfig::parse("[telemetry]\ntrace_cap = 0\n").is_err());
     }
 
     #[test]

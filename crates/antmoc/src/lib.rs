@@ -28,7 +28,7 @@ pub mod config;
 pub mod output;
 pub mod pipeline;
 
-pub use artifact::{run_artifact, write_run_artifact};
+pub use artifact::{run_artifact, write_run_artifact, write_trace_artifact};
 pub use config::{BackendConfig, RunConfig};
 pub use output::PinRates;
 pub use pipeline::{run, RunReport, StageTimings};

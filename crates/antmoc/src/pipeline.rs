@@ -48,6 +48,14 @@ pub struct RunReport {
 /// Runs the full pipeline for a configuration.
 pub fn run(config: &RunConfig) -> RunReport {
     let tel = antmoc_telemetry::Telemetry::global();
+    // Event-timeline tracing: the config switch or ANTMOC_TRACE=1 turns
+    // it on; ANTMOC_TRACE=0 forces it off regardless of the config.
+    let trace_on = match std::env::var("ANTMOC_TRACE") {
+        Ok(v) if v == "0" => false,
+        Ok(v) if !v.is_empty() => true,
+        _ => config.telemetry.trace,
+    };
+    tel.set_tracing(trace_on, config.telemetry.trace_cap);
     let (nx, ny, nz) = config.decomposition;
     tel.set_meta("case", "c5g7");
     tel.set_meta(

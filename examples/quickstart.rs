@@ -10,7 +10,7 @@
 //! `results/quickstart_report.json`.
 
 use antmoc::telemetry::Telemetry;
-use antmoc::{run, write_run_artifact, RunConfig};
+use antmoc::{run, write_run_artifact, write_trace_artifact, RunConfig};
 
 fn main() {
     // A coarse configuration that converges in well under a minute.
@@ -70,4 +70,11 @@ balance_sweeps = 40
         artifact.counters.len(),
         artifact.gauges.len()
     );
+    // With `[telemetry] trace = true` or ANTMOC_TRACE=1, the event
+    // timeline lands next to the report as Chrome trace_event JSON.
+    if let Some(trace_path) =
+        write_trace_artifact("results", "quickstart").expect("write trace artifact")
+    {
+        println!("Wrote {} (open in chrome://tracing or Perfetto).", trace_path.display());
+    }
 }

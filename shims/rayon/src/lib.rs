@@ -153,6 +153,10 @@ pub struct RegionStats {
     pub busy_s: Vec<f64>,
     /// Items each worker executed, indexed by worker.
     pub items: Vec<u64>,
+    /// Wall seconds each worker spent in the steal loop (out of tasks:
+    /// picking victims, stealing, yielding), indexed by worker. All
+    /// zeros for statically partitioned regions.
+    pub wait_s: Vec<f64>,
     /// Steal attempts across all workers (successful or not).
     pub steal_attempts: u64,
     /// Steals that moved at least one task.
@@ -201,6 +205,7 @@ fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
 /// Per-worker scratch for the scheduler loop.
 struct WorkerLog {
     busy: Duration,
+    wait: Duration,
     items: u64,
     steal_attempts: u64,
     steals: u64,
@@ -246,7 +251,13 @@ where
 
     let worker_loop = |me: usize| -> (WorkerLog, R) {
         let _wi = enter_worker(me);
-        let mut log = WorkerLog { busy: Duration::ZERO, items: 0, steal_attempts: 0, steals: 0 };
+        let mut log = WorkerLog {
+            busy: Duration::ZERO,
+            wait: Duration::ZERO,
+            items: 0,
+            steal_attempts: 0,
+            steals: 0,
+        };
         let mut state = make_state();
         // Deterministic xorshift for victim selection, distinct per worker.
         let mut rng: u64 = (me as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) | 1;
@@ -277,6 +288,7 @@ where
                 }
             };
             log.steal_attempts += 1;
+            let t_wait = Instant::now();
             let batch = deques[victim].steal_half();
             if batch.is_empty() {
                 dry_spins += 1;
@@ -285,6 +297,7 @@ where
                 } else {
                     std::thread::yield_now();
                 }
+                log.wait += t_wait.elapsed();
                 continue;
             }
             log.steals += 1;
@@ -294,6 +307,7 @@ where
             for t in batch.into_iter().rev() {
                 deques[me].push(t);
             }
+            log.wait += t_wait.elapsed();
         }
         (log, finish(state))
     };
@@ -310,12 +324,14 @@ where
         workers,
         busy_s: Vec::with_capacity(workers),
         items: Vec::with_capacity(workers),
+        wait_s: Vec::with_capacity(workers),
         steal_attempts: 0,
         steals: 0,
     };
     for (log, _) in &results {
         stats.busy_s.push(log.busy.as_secs_f64());
         stats.items.push(log.items);
+        stats.wait_s.push(log.wait.as_secs_f64());
         stats.steal_attempts += log.steal_attempts;
         stats.steals += log.steals;
     }
@@ -358,7 +374,7 @@ where
             acc = fold(acc, i);
         }
         let busy = t0.elapsed();
-        (WorkerLog { busy, items, steal_attempts: 0, steals: 0 }, acc)
+        (WorkerLog { busy, wait: Duration::ZERO, items, steal_attempts: 0, steals: 0 }, acc)
     };
     let run_one = &run_one;
     let mut results: Vec<(WorkerLog, Acc)> = std::thread::scope(|s| {
@@ -378,6 +394,7 @@ where
         workers,
         busy_s: Vec::with_capacity(workers),
         items: Vec::with_capacity(workers),
+        wait_s: vec![0.0; workers],
         steal_attempts: 0,
         steals: 0,
     };
@@ -905,6 +922,8 @@ mod tests {
         let stats = crate::take_last_region_stats().expect("4-worker region records stats");
         assert_eq!(stats.workers, 4);
         assert_eq!(stats.busy_s.len(), 4);
+        assert_eq!(stats.wait_s.len(), 4);
+        assert!(stats.wait_s.iter().all(|&w| w >= 0.0));
         assert_eq!(stats.items.iter().sum::<u64>(), 10_000);
         assert!(stats.load_ratio() >= 1.0);
         // The take cleared the slot.
@@ -1005,6 +1024,8 @@ mod tests {
         assert_eq!(stats.workers, 4);
         assert_eq!(stats.steal_attempts, 0);
         assert_eq!(stats.steals, 0);
+        // Static partitions never enter the steal loop.
+        assert!(stats.wait_s.iter().all(|&w| w == 0.0));
         assert_eq!(stats.items.iter().sum::<u64>(), 1000);
         // Serial regions clear the slot, like the stealing scheduler.
         pool(1).install(|| {

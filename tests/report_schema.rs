@@ -8,7 +8,7 @@
 //! regenerating the golden with `ANTMOC_UPDATE_GOLDEN=1 cargo test -p
 //! antmoc --test report_schema` and reviewing the diff.
 
-use antmoc_telemetry::{GaugeStats, Json, RunReport, SpanStats};
+use antmoc_telemetry::{GaugeStats, HistogramSummary, Json, RunReport, SpanStats};
 
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/run_report.json")
@@ -53,6 +53,35 @@ fn representative_report() -> RunReport {
         .insert("sweep.tally_bytes".into(), GaugeStats { last: 389256.0, high_water: 1557024.0 });
     r.gauges.insert("sweep.worker_busy_max_s".into(), GaugeStats { last: 0.5, high_water: 0.5 });
     r.gauges.insert("sweep.worker_busy_mean_s".into(), GaugeStats { last: 0.4, high_water: 0.45 });
+
+    // Histogram quantile snapshots, in the shapes the sweep and comm
+    // layers record (nanosecond latencies and per-track retry bursts).
+    r.histograms.insert(
+        "comm.recv_wait_ns".into(),
+        HistogramSummary { count: 96, p50: 18_432, p90: 61_440, p99: 126_976, max: 131_071 },
+    );
+    r.histograms.insert(
+        "sweep.steal_wait_ns".into(),
+        HistogramSummary { count: 4, p50: 1_024, p90: 4_096, p99: 4_096, max: 4_000 },
+    );
+    r.histograms.insert(
+        "sweep.track_ns".into(),
+        HistogramSummary { count: 4096, p50: 12_288, p90: 28_672, p99: 49_152, max: 50_000 },
+    );
+
+    // Per-iteration convergence rows, in the shape the eigen driver
+    // appends (parser-canonical Int for non-negative integers).
+    for (it, k, res) in [(1i64, 1.05, 0.2), (2, 1.12, 0.04)] {
+        r.iterations.push(Json::Obj(vec![
+            ("it".into(), Json::Int(it)),
+            ("k".into(), Json::Num(k)),
+            ("residual".into(), Json::Num(res)),
+            ("sweep_s".into(), Json::Num(0.25)),
+            ("segments".into(), Json::Int(154_320)),
+            ("cas_retries".into(), Json::Int(0)),
+            ("checkpoint".into(), Json::Bool(it == 2)),
+        ]));
+    }
 
     r.set_section(
         "sweep_workers",
@@ -186,4 +215,16 @@ fn golden_file_round_trips_losslessly() {
     };
     assert_eq!(events[0].get("survivors").and_then(Json::as_u64), Some(3));
     assert_eq!(events[0].get("migrated").and_then(Json::as_u64), Some(1));
+    // The observability keys: histogram quantiles and the per-iteration
+    // convergence series.
+    assert_eq!(parsed.histograms.len(), 3);
+    let track = parsed.histograms.get("sweep.track_ns").expect("sweep.track_ns histogram");
+    assert_eq!(track.count, 4096);
+    assert_eq!(track.p99, 49_152);
+    assert!(parsed.histograms.contains_key("sweep.steal_wait_ns"));
+    assert!(parsed.histograms.contains_key("comm.recv_wait_ns"));
+    assert_eq!(parsed.iterations.len(), 2);
+    assert_eq!(parsed.iterations[0].get("it").and_then(Json::as_u64), Some(1));
+    assert_eq!(parsed.iterations[1].get("k").and_then(Json::as_f64), Some(1.12));
+    assert_eq!(parsed.iterations[1].get("checkpoint"), Some(&Json::Bool(true)));
 }
