@@ -4,7 +4,8 @@
 //! relative delta, gauges by high-water mark, histograms by count and
 //! percentile shift, convergence series by iteration count — and exits
 //! nonzero when any comparison exceeds its threshold. CI diffs the fresh
-//! perf-smoke report against the committed `ci/report_baseline.json`.
+//! perf-smoke and case-matrix reports against the committed goldens
+//! under `ci/baselines/`.
 //!
 //! ```text
 //! report-diff <baseline.json> <fresh.json> [flags]
@@ -18,6 +19,12 @@
 //! 0.5). Thresholds are loose on purpose: like the perf-smoke gate, this
 //! catches order-of-magnitude breakage across CI machines, not
 //! single-digit-percent drift.
+//!
+//! `--allow-new-sections` is the bootstrap mode for newly added cases:
+//! counters, gauges, histograms, and iteration series present only in the
+//! *fresh* report pass instead of reading as structural breakage, so a
+//! case can gain telemetry (or exist at all) before its committed
+//! baseline is regenerated. Baseline-only metrics still fail.
 
 use std::process::ExitCode;
 
@@ -48,11 +55,16 @@ struct Thresholds {
     gauge_tol: f64,
     hist_ratio: f64,
     iter_tol: f64,
+    /// Bootstrap mode (`--allow-new-sections`): metrics present only in
+    /// the fresh report are not violations, so a new case (or a case
+    /// gaining telemetry) can land before its baseline is regenerated.
+    /// Baseline-only metrics still fail — those are regressions.
+    allow_new: bool,
 }
 
 impl Default for Thresholds {
     fn default() -> Self {
-        Self { counter_tol: 0.5, gauge_tol: 0.5, hist_ratio: 16.0, iter_tol: 0.5 }
+        Self { counter_tol: 0.5, gauge_tol: 0.5, hist_ratio: 16.0, iter_tol: 0.5, allow_new: false }
     }
 }
 
@@ -84,6 +96,9 @@ fn diff_reports(baseline: &RunReport, fresh: &RunReport, t: &Thresholds) -> Vec<
         if is_noisy(key) {
             continue;
         }
+        if t.allow_new && !baseline.counters.contains_key(key) {
+            continue;
+        }
         let a = baseline.counter(key) as f64;
         let b = fresh.counter(key) as f64;
         let d = rel_delta(a, b);
@@ -101,6 +116,9 @@ fn diff_reports(baseline: &RunReport, fresh: &RunReport, t: &Thresholds) -> Vec<
         if is_noisy(key) {
             continue;
         }
+        if t.allow_new && !baseline.gauges.contains_key(key) {
+            continue;
+        }
         let a = baseline.gauges.get(key).map(|g| g.high_water).unwrap_or(0.0);
         let b = fresh.gauges.get(key).map(|g| g.high_water).unwrap_or(0.0);
         let d = rel_delta(a, b);
@@ -116,13 +134,19 @@ fn diff_reports(baseline: &RunReport, fresh: &RunReport, t: &Thresholds) -> Vec<
     // breakage; for shared keys, sample counts obey the counter
     // tolerance and p50/p99 may shift at most `hist_ratio`.
     for key in baseline.histograms.keys().chain(fresh.histograms.keys()) {
+        // The noisy exemption covers existence too: a load-dependent
+        // histogram (steal latency, CAS bursts) appears only when the run
+        // was actually contended, so one-sidedness there is not breakage.
+        if is_noisy(key) {
+            continue;
+        }
+        if t.allow_new && !baseline.histograms.contains_key(key) {
+            continue;
+        }
         let (Some(a), Some(b)) = (baseline.histograms.get(key), fresh.histograms.get(key)) else {
             violations.push(format!("histogram {key}: present in only one report"));
             continue;
         };
-        if is_noisy(key) {
-            continue;
-        }
         let d = rel_delta(a.count as f64, b.count as f64);
         if d > t.counter_tol {
             violations.push(format!(
@@ -144,7 +168,9 @@ fn diff_reports(baseline: &RunReport, fresh: &RunReport, t: &Thresholds) -> Vec<
     // Convergence series: iteration counts within tolerance (an empty
     // series on one side only is structural breakage).
     let (na, nb) = (baseline.iterations.len(), fresh.iterations.len());
-    if (na == 0) != (nb == 0) {
+    if t.allow_new && na == 0 && nb > 0 {
+        // Bootstrap: a fresh report growing an iteration series is fine.
+    } else if (na == 0) != (nb == 0) {
         violations.push(format!("iterations: baseline has {na} rows, fresh has {nb}"));
     } else if rel_delta(na as f64, nb as f64) > t.iter_tol {
         violations.push(format!(
@@ -191,7 +217,8 @@ fn load_report(path: &str) -> Result<RunReport, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: report-diff <baseline.json> <fresh.json> \
-         [--counter-tol R] [--gauge-tol R] [--hist-ratio R] [--iter-tol R]\n\
+         [--counter-tol R] [--gauge-tol R] [--hist-ratio R] [--iter-tol R] \
+         [--allow-new-sections]\n\
          \x20      report-diff --self <report.json>\n\
          \x20      report-diff --validate-trace <trace.json>"
     );
@@ -213,6 +240,7 @@ fn main() -> ExitCode {
         };
         match args[i].as_str() {
             "--self" => self_check = true,
+            "--allow-new-sections" => t.allow_new = true,
             "--validate-trace" => match take(&mut i) {
                 Some(p) => trace_path = Some(p),
                 None => return usage(),
@@ -350,6 +378,42 @@ mod tests {
             antmoc::telemetry::HistogramSummary { count: 5, p50: 1, p90: 2, p99: 3, max: 4 },
         );
         let v = diff_reports(&a, &b, &Thresholds::default());
+        assert!(v.iter().any(|m| m.contains("only one report")), "{v:?}");
+    }
+
+    #[test]
+    fn one_sided_noisy_histogram_is_exempt() {
+        // Load-dependent histograms appear only on contended runs; their
+        // absence in one report is not structural breakage.
+        let mut a = report_with(1_000_000, 30);
+        let b = report_with(1_000_000, 30);
+        a.histograms.insert(
+            "sweep.track_ns".into(),
+            antmoc::telemetry::HistogramSummary { count: 5, p50: 1, p90: 2, p99: 3, max: 4 },
+        );
+        assert!(diff_reports(&a, &b, &Thresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn allow_new_sections_accepts_fresh_only_metrics() {
+        let a = report_with(1_000_000, 30);
+        let mut b = report_with(1_000_000, 30);
+        b.counters.insert("fixed.iterations".into(), 120);
+        b.gauges.insert(
+            "solver.flux_bank_bytes".into(),
+            antmoc::telemetry::GaugeStats { last: 4096.0, high_water: 4096.0 },
+        );
+        b.histograms.insert(
+            "eigen.residual_ns".into(),
+            antmoc::telemetry::HistogramSummary { count: 5, p50: 1, p90: 2, p99: 3, max: 4 },
+        );
+        let strict = diff_reports(&a, &b, &Thresholds::default());
+        assert!(!strict.is_empty(), "strict mode should flag fresh-only metrics");
+        let bootstrap = Thresholds { allow_new: true, ..Default::default() };
+        assert!(diff_reports(&a, &b, &bootstrap).is_empty());
+        // The other direction stays a failure: a metric vanishing from
+        // the fresh report is a regression even in bootstrap mode.
+        let v = diff_reports(&b, &a, &bootstrap);
         assert!(v.iter().any(|m| m.contains("only one report")), "{v:?}");
     }
 

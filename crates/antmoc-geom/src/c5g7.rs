@@ -15,7 +15,7 @@ use antmoc_xs::{c5g7 as xs7, MaterialId, MaterialLibrary};
 use crate::axial::{AxialModel, Zone, ZoneKind};
 use crate::csg::{Cell, Fill, Lattice, Universe, UniverseId};
 use crate::geometry::{Bc, BoundaryConds, FsrId, Geometry, GeometryBuilder};
-use crate::surface::{Sense, Surface, SurfaceId};
+use crate::pin::PinBuilder;
 
 /// Pin pitch (cm).
 pub const PIN_PITCH: f64 = 1.26;
@@ -213,15 +213,15 @@ impl C5g7 {
 
         // Pin universes (shared across assemblies where the bank alias
         // allows).
-        let mut pins = PinFactory::new(&opts);
-        let uo2_pin = pins.fuel_pin(&mut b, m.uo2, m.water);
-        let mox43_pin = pins.fuel_pin(&mut b, m.mox43, m.water);
-        let mox70_pin = pins.fuel_pin(&mut b, m.mox70, m.water);
-        let mox87_pin = pins.fuel_pin(&mut b, m.mox87, m.water);
-        let chamber_pin = pins.fuel_pin(&mut b, m.chamber, m.water);
-        let tube_pin = pins.fuel_pin(&mut b, m.tube, m.water);
-        let tube_pin_inner = pins.fuel_pin(&mut b, m.tube_inner_uo2, m.water);
-        let tube_pin_mox = pins.fuel_pin(&mut b, m.tube_mox, m.water);
+        let pins = pin_builder(&opts);
+        let uo2_pin = pins.build(&mut b, m.uo2, m.water);
+        let mox43_pin = pins.build(&mut b, m.mox43, m.water);
+        let mox70_pin = pins.build(&mut b, m.mox70, m.water);
+        let mox87_pin = pins.build(&mut b, m.mox87, m.water);
+        let chamber_pin = pins.build(&mut b, m.chamber, m.water);
+        let tube_pin = pins.build(&mut b, m.tube, m.water);
+        let tube_pin_inner = pins.build(&mut b, m.tube_inner_uo2, m.water);
+        let tube_pin_mox = pins.build(&mut b, m.tube_mox, m.water);
 
         // Assemblies.
         let inner_uo2 =
@@ -345,104 +345,20 @@ fn build_axial(opts: &C5g7Options, m: &MatIds) -> AxialModel {
     AxialModel::new(zones, opts.axial_dz)
 }
 
-/// Shared machinery for pin-cell universes with rings and sectors.
-struct PinFactory {
-    rings: usize,
-    sectors: usize,
-}
-
-impl PinFactory {
-    fn new(opts: &C5g7Options) -> Self {
-        assert!(opts.fuel_rings >= 1, "fuel_rings must be >= 1");
-        assert!(
-            opts.sectors == 1
-                || opts.sectors == 2
-                || (opts.sectors >= 4 && opts.sectors.is_multiple_of(2)),
-            "sectors must be 1, 2, or an even count >= 4"
-        );
-        Self { rings: opts.fuel_rings, sectors: opts.sectors }
+/// The benchmark's pin parameters at the requested resolution (the shared
+/// [`PinBuilder`] does the construction, so the declarative problem
+/// format produces byte-identical pins).
+fn pin_builder(opts: &C5g7Options) -> PinBuilder {
+    let pins = PinBuilder {
+        pitch: PIN_PITCH,
+        radius: PIN_RADIUS,
+        rings: opts.fuel_rings,
+        sectors: opts.sectors,
+    };
+    if let Err(e) = pins.validate() {
+        panic!("bad C5G7 resolution options: {e}");
     }
-
-    /// Builds a pin universe: `rings` equal-area fuel rings and `sectors`
-    /// angular sectors in both fuel and moderator.
-    fn fuel_pin(
-        &mut self,
-        b: &mut GeometryBuilder,
-        fuel: MaterialId,
-        water: MaterialId,
-    ) -> UniverseId {
-        let ring_radii: Vec<f64> = (1..=self.rings)
-            .map(|k| PIN_RADIUS * ((k as f64) / self.rings as f64).sqrt())
-            .collect();
-        let circles: Vec<SurfaceId> = ring_radii
-            .iter()
-            .map(|&r| b.add_surface(Surface::Circle { x0: 0.0, y0: 0.0, r }))
-            .collect();
-
-        // Sector lines (angle offset avoids axis alignment).
-        let offset = std::f64::consts::PI / 8.0;
-        let nlines = if self.sectors >= 2 { self.sectors.max(2) / 2 } else { 0 };
-        let delta = 2.0 * std::f64::consts::PI / self.sectors.max(1) as f64;
-        let lines: Vec<(SurfaceId, Surface)> = (0..nlines)
-            .map(|j| {
-                let s = Surface::line_through(0.0, 0.0, offset + delta * j as f64);
-                (b.add_surface(s.clone()), s)
-            })
-            .collect();
-
-        // Sense pairs for sector `s`, determined numerically at the sector
-        // midpoint (robust against index arithmetic mistakes).
-        let sector_region = |sector: usize| -> Vec<(SurfaceId, Sense)> {
-            if self.sectors <= 1 {
-                return vec![];
-            }
-            let mid = offset + delta * (sector as f64 + 0.5);
-            let (sy, sx) = mid.sin_cos();
-            let probe = (sx * 0.1, sy * 0.1);
-            let bounds = [sector, (sector + 1) % self.sectors];
-            let mut region: Vec<(SurfaceId, Sense)> = Vec::new();
-            for bd in bounds {
-                let (sid, surf) = &lines[bd % nlines];
-                let sense = surf.sense_of(probe.0, probe.1);
-                if let Some(existing) = region.iter().find(|(id, _)| id == sid) {
-                    assert_eq!(existing.1, sense, "degenerate sector bounds");
-                } else {
-                    region.push((*sid, sense));
-                }
-            }
-            region
-        };
-
-        let ring_area = std::f64::consts::PI * PIN_RADIUS * PIN_RADIUS / self.rings as f64;
-        let water_area = PIN_PITCH * PIN_PITCH - std::f64::consts::PI * PIN_RADIUS * PIN_RADIUS;
-        let nsec = self.sectors.max(1);
-
-        let mut cells = Vec::new();
-        let mut areas = Vec::new();
-        for ring in 0..self.rings {
-            for sector in 0..nsec {
-                let mut region = sector_region(sector);
-                region.push((circles[ring], Sense::Negative));
-                if ring > 0 {
-                    region.push((circles[ring - 1], Sense::Positive));
-                }
-                cells.push(Cell { region, fill: Fill::Material(fuel) });
-                areas.push(ring_area / nsec as f64);
-            }
-        }
-        for sector in 0..nsec {
-            let mut region = sector_region(sector);
-            region.push((circles[self.rings - 1], Sense::Positive));
-            cells.push(Cell { region, fill: Fill::Material(water) });
-            areas.push(water_area / nsec as f64);
-        }
-
-        let u = b.add_universe(Universe { cells, name: format!("pin-m{}", fuel.0) });
-        for (ci, a) in areas.into_iter().enumerate() {
-            b.set_area_hint(u, ci, a);
-        }
-        u
-    }
+    pins
 }
 
 fn build_uo2_assembly(
@@ -578,10 +494,10 @@ pub fn single_assembly(opts: C5g7Options) -> C5g7 {
     let _ = (m.mox43, m.mox70, m.mox87, m.tube, m.tube_mox);
 
     let mut b = GeometryBuilder::new();
-    let mut pins = PinFactory::new(&opts);
-    let uo2_pin = pins.fuel_pin(&mut b, m.uo2, m.water);
-    let chamber_pin = pins.fuel_pin(&mut b, m.chamber, m.water);
-    let tube_pin = pins.fuel_pin(&mut b, m.tube_inner_uo2, m.water);
+    let pins = pin_builder(&opts);
+    let uo2_pin = pins.build(&mut b, m.uo2, m.water);
+    let chamber_pin = pins.build(&mut b, m.chamber, m.water);
+    let tube_pin = pins.build(&mut b, m.tube_inner_uo2, m.water);
     let assembly = build_uo2_assembly(&mut b, uo2_pin, tube_pin, chamber_pin, "UO2-single");
     let root = b.add_universe(Universe {
         cells: vec![Cell { region: vec![], fill: Fill::Universe(assembly) }],

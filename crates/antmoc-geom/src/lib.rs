@@ -23,6 +23,7 @@ pub mod axial;
 pub mod c5g7;
 pub mod csg;
 pub mod geometry;
+pub mod pin;
 pub mod surface;
 
 pub use axial::{AxialModel, Fsr3dId, Fsr3dMap, Zone, ZoneKind};

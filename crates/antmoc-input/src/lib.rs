@@ -1,0 +1,23 @@
+//! Declarative problem descriptions for the ANT-MOC pipeline.
+//!
+//! A *case file* is a small TOML document describing a lattice transport
+//! problem: a material library reference (into `antmoc-xs`), pin
+//! universes, rectangular lattices, an axial stack, physics gates, and
+//! pass-through solver sections. The crate parses it ([`CaseSpec`]),
+//! re-emits it canonically ([`CaseSpec::emit`]), and lowers it to the
+//! exact `antmoc-geom` types the hardcoded benchmark builders produce
+//! ([`lower`]), so one pipeline runs both.
+//!
+//! The shipped cases live under `cases/` at the repository root; see
+//! `cases/README.md` for the suite and the README "Problem format"
+//! section for the dialect.
+
+pub mod lower;
+pub mod spec;
+pub mod toml;
+
+pub use lower::{lower, lower_text, LoweredModel, LoweredSource, PinLayout};
+pub use spec::{
+    CaseKind, CaseSpec, CoreSpec, FluxRatioGate, GateSpec, GeometrySpec, InputError, LatticeSpec,
+    PinKind, PinSpec, RawEntry, SourceSpec, ZoneKindSpec, ZoneSpec,
+};

@@ -1,0 +1,606 @@
+//! Lowering a [`CaseSpec`] to the solver's geometry types.
+//!
+//! The output is the same shape the hardcoded C5G7 builder produces — a
+//! finalized [`Geometry`], an [`AxialModel`], and a [`MaterialLibrary`] —
+//! so the pipeline can run a declarative case through the exact code path
+//! it runs the benchmark through. FSR enumeration is structural (a DFS
+//! over the universe tree), so a case that describes the same model as a
+//! hardcoded builder yields bit-identical flat source regions even though
+//! the arena insertion order differs.
+
+use std::collections::HashMap;
+
+use antmoc_geom::axial::{AxialModel, Zone, ZoneKind};
+use antmoc_geom::c5g7::PinAddress;
+use antmoc_geom::csg::{Cell, Fill, Lattice, Universe, UniverseId};
+use antmoc_geom::geometry::{FsrId, Geometry, GeometryBuilder};
+use antmoc_geom::pin::PinBuilder;
+use antmoc_xs::{c5g7 as xs7, MaterialId, MaterialLibrary};
+
+use crate::spec::{CaseSpec, InputError, PinKind, ZoneKindSpec};
+
+/// How pin addresses decode from FSR paths, fixed by the case's lattice
+/// nesting depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinLayout {
+    /// Root lattice of assemblies, assemblies are lattices of pins
+    /// (the C5G7 shape): `(assembly ix, iy)` then `(pin ix, iy)`.
+    TwoLevel,
+    /// Root lattice of pins: assembly is always `(0, 0)`.
+    OneLevel,
+    /// No lattice root; pin rates are not addressable.
+    None,
+}
+
+/// A `[[source]]` with its material reference resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredSource {
+    pub material: MaterialId,
+    /// 0-based energy groups.
+    pub groups: Vec<usize>,
+    pub strength: f64,
+}
+
+/// The lowered model: everything the pipeline needs to run the case.
+#[derive(Debug)]
+pub struct LoweredModel {
+    pub geometry: Geometry,
+    pub axial: AxialModel,
+    pub library: MaterialLibrary,
+    pub pin_layout: PinLayout,
+    pub sources: Vec<LoweredSource>,
+}
+
+impl LoweredModel {
+    /// Decodes the pin address of a radial FSR, mirroring
+    /// [`antmoc_geom::c5g7::C5g7::pin_of_fsr`] for the case's layout.
+    pub fn pin_of_fsr(&self, f: FsrId) -> Option<PinAddress> {
+        let path = self.geometry.fsr_path(f);
+        match self.pin_layout {
+            PinLayout::TwoLevel => {
+                if path.len() < 6 {
+                    return None;
+                }
+                Some(PinAddress {
+                    assembly: (path[1] as usize, path[2] as usize),
+                    pin: (path[4] as usize, path[5] as usize),
+                })
+            }
+            PinLayout::OneLevel => {
+                if path.len() < 4 {
+                    return None;
+                }
+                Some(PinAddress { assembly: (0, 0), pin: (path[1] as usize, path[2] as usize) })
+            }
+            PinLayout::None => None,
+        }
+    }
+}
+
+/// A named thing lattice rows can reference.
+enum Node {
+    Pin { uni: UniverseId, spec: usize },
+    Lattice { uni: UniverseId, extent: (f64, f64) },
+}
+
+fn resolve_material(
+    library: &MaterialLibrary,
+    name: &str,
+    line: usize,
+    context: &str,
+) -> Result<MaterialId, InputError> {
+    library.by_name(name).map(|(id, _)| id).ok_or_else(|| {
+        let known: Vec<&str> = library.iter().map(|(_, m)| m.name.as_str()).collect();
+        InputError::new(
+            line,
+            context.to_owned(),
+            format!("unknown material {name:?}; the library has: {}", known.join(", ")),
+        )
+    })
+}
+
+/// Lowers a parsed case to geometry, axial structure, and materials.
+pub fn lower(spec: &CaseSpec) -> Result<LoweredModel, InputError> {
+    let g = &spec.geometry;
+
+    // Material library and aliases.
+    let mut library = match g.library.as_str() {
+        "c5g7" => xs7::library(),
+        "c5g7-rodded" => xs7::library_with_rod(),
+        other => {
+            return Err(InputError::new(
+                1,
+                "[materials] library",
+                format!("unknown library {other:?}; available: c5g7, c5g7-rodded"),
+            ))
+        }
+    };
+    for (new, old) in &g.aliases {
+        let (_, m) = library.by_name(old).ok_or_else(|| {
+            let known: Vec<&str> = library.iter().map(|(_, m)| m.name.as_str()).collect();
+            InputError::new(
+                1,
+                "[materials] aliases",
+                format!("unknown material {old:?}; the library has: {}", known.join(", ")),
+            )
+        })?;
+        if library.by_name(new).is_some() {
+            return Err(InputError::new(
+                1,
+                "[materials] aliases",
+                format!("alias {new:?} collides with an existing material"),
+            ));
+        }
+        let mut m = m.clone();
+        m.name = new.clone();
+        library.add(m);
+    }
+
+    let mut b = GeometryBuilder::new();
+    let mut nodes: HashMap<&str, Node> = HashMap::new();
+
+    // Pin universes, in declaration order.
+    for (idx, pin) in g.pins.iter().enumerate() {
+        let section = format!("[[pin]] {:?}", pin.name);
+        let uni = match &pin.kind {
+            PinKind::Fuel { fuel, moderator, pitch, radius, rings, sectors } => {
+                let fuel = resolve_material(&library, fuel, pin.line, &section)?;
+                let moderator = resolve_material(&library, moderator, pin.line, &section)?;
+                let builder =
+                    PinBuilder { pitch: *pitch, radius: *radius, rings: *rings, sectors: *sectors };
+                if let Err(msg) = builder.validate() {
+                    return Err(InputError::new(pin.line, section, msg));
+                }
+                builder.build(&mut b, fuel, moderator)
+            }
+            PinKind::Cell { fill } => {
+                let fill = resolve_material(&library, fill, pin.line, &section)?;
+                b.add_universe(Universe {
+                    cells: vec![Cell { region: vec![], fill: Fill::Material(fill) }],
+                    name: pin.name.clone(),
+                })
+            }
+        };
+        nodes.insert(&pin.name, Node::Pin { uni, spec: idx });
+    }
+
+    // Area hints for homogeneous cell pins come from the lattice that
+    // places them (a cell pin covers one lattice cell); collected while
+    // lattices resolve, applied before finalize.
+    let mut cell_areas: HashMap<usize, (f64, usize)> = HashMap::new();
+    // Whether each lattice (by name) nests other lattices.
+    let mut nests: HashMap<String, bool> = HashMap::new();
+
+    for lat in &g.lattices {
+        let section = format!("[[lattice]] {:?}", lat.name);
+        let nx = lat.rows[0].chars().count();
+        let ny = lat.rows.len();
+        let (px, py) = lat.pitch;
+        if !(px > 0.0 && py > 0.0) {
+            return Err(InputError::new(lat.line, section, "pitch must be positive"));
+        }
+        let mut has_lattice_children = false;
+        let mut unis = Vec::with_capacity(nx * ny);
+        // Rows are written top-to-bottom; lattice index iy grows toward
+        // +y, so flip.
+        for iy in 0..ny {
+            let row: Vec<char> = lat.rows[ny - 1 - iy].chars().collect();
+            for &c in row.iter().take(nx) {
+                let target = &lat.key.iter().find(|(k, _)| *k == c).unwrap().1;
+                let node = nodes.get(target.as_str()).ok_or_else(|| {
+                    InputError::new(
+                        lat.line,
+                        section.clone(),
+                        format!(
+                            "key symbol {c:?} maps to {target:?}, which is not a declared pin \
+                             or lattice (nested lattices must be declared before their parent)"
+                        ),
+                    )
+                })?;
+                let uni = match node {
+                    Node::Pin { uni, spec } => {
+                        match &g.pins[*spec].kind {
+                            PinKind::Fuel { pitch, .. } => {
+                                if (pitch - px).abs() > 1e-12 || (pitch - py).abs() > 1e-12 {
+                                    return Err(InputError::new(
+                                        lat.line,
+                                        section.clone(),
+                                        format!(
+                                            "pin {target:?} has pitch {pitch} but the lattice \
+                                             pitch is [{px}, {py}]"
+                                        ),
+                                    ));
+                                }
+                            }
+                            PinKind::Cell { .. } => {
+                                let area = px * py;
+                                match cell_areas.get(spec) {
+                                    Some((prev, prev_line)) if (prev - area).abs() > 1e-12 => {
+                                        return Err(InputError::new(
+                                            lat.line,
+                                            section.clone(),
+                                            format!(
+                                                "cell pin {target:?} is placed in lattices of \
+                                                 different pitches ({prev} cm^2 at line \
+                                                 {prev_line}, {area} cm^2 here); declare one \
+                                                 pin per pitch"
+                                            ),
+                                        ));
+                                    }
+                                    _ => {
+                                        cell_areas.insert(*spec, (area, lat.line));
+                                    }
+                                }
+                            }
+                        }
+                        *uni
+                    }
+                    Node::Lattice { uni, extent } => {
+                        has_lattice_children = true;
+                        if (extent.0 - px).abs() > 1e-12 || (extent.1 - py).abs() > 1e-12 {
+                            return Err(InputError::new(
+                                lat.line,
+                                section.clone(),
+                                format!(
+                                    "nested lattice {target:?} spans [{}, {}] but the parent \
+                                     cell is [{px}, {py}]",
+                                    extent.0, extent.1
+                                ),
+                            ));
+                        }
+                        *uni
+                    }
+                };
+                unis.push(uni);
+            }
+        }
+        let lat_id = b.add_lattice(Lattice {
+            nx,
+            ny,
+            pitch_x: px,
+            pitch_y: py,
+            universes: unis,
+            name: lat.name.clone(),
+        });
+        let wrapper = b.add_universe(Universe {
+            cells: vec![Cell { region: vec![], fill: Fill::Lattice(lat_id) }],
+            name: lat.name.clone(),
+        });
+        nests.insert(lat.name.clone(), has_lattice_children);
+        nodes.insert(
+            &lat.name,
+            Node::Lattice { uni: wrapper, extent: (nx as f64 * px, ny as f64 * py) },
+        );
+    }
+
+    // The core: domain extent and the root universe.
+    let core = &g.core;
+    let root_node = nodes.get(core.root.as_str()).ok_or_else(|| {
+        InputError::new(
+            core.line,
+            "[core] root",
+            format!("{:?} is not a declared pin or lattice", core.root),
+        )
+    })?;
+    let (root_uni, width, pin_layout) = match root_node {
+        Node::Lattice { uni, extent } => {
+            if let Some((w, h)) = core.width {
+                if (w - extent.0).abs() > 1e-12 || (h - extent.1).abs() > 1e-12 {
+                    return Err(InputError::new(
+                        core.line,
+                        "[core] width",
+                        format!(
+                            "explicit width [{w}, {h}] does not match the root lattice extent \
+                             [{}, {}]",
+                            extent.0, extent.1
+                        ),
+                    ));
+                }
+            }
+            let layout = if nests[&core.root] { PinLayout::TwoLevel } else { PinLayout::OneLevel };
+            (*uni, *extent, layout)
+        }
+        Node::Pin { uni, spec } => {
+            let (w, h) = core.width.ok_or_else(|| {
+                InputError::new(
+                    core.line,
+                    "[core] width",
+                    "width = [w, h] is required when the root is a pin",
+                )
+            })?;
+            match &g.pins[*spec].kind {
+                PinKind::Fuel { pitch, .. } => {
+                    if (pitch - w).abs() > 1e-12 || (pitch - h).abs() > 1e-12 {
+                        return Err(InputError::new(
+                            core.line,
+                            "[core] width",
+                            format!("width [{w}, {h}] does not match the root pin pitch {pitch}"),
+                        ));
+                    }
+                }
+                PinKind::Cell { .. } => {
+                    cell_areas.insert(*spec, (w * h, core.line));
+                }
+            }
+            (*uni, (w, h), PinLayout::None)
+        }
+    };
+
+    for (spec, (area, _)) in &cell_areas {
+        if let Some(Node::Pin { uni, .. }) = nodes.get(g.pins[*spec].name.as_str()) {
+            b.set_area_hint(*uni, 0, *area);
+        }
+    }
+
+    // Axial zones: validated here with line context (the geometry layer
+    // would only assert), then resolved to material ids.
+    if !(g.axial_dz > 0.0) {
+        return Err(InputError::new(1, "[axial] dz", "dz must be positive"));
+    }
+    let mut zones = Vec::with_capacity(g.zones.len());
+    for (i, z) in g.zones.iter().enumerate() {
+        let section = format!("[[zone]] #{}", i + 1);
+        if !(z.from < z.to) {
+            return Err(InputError::new(
+                z.line,
+                section,
+                format!("zone must have from < to, got [{}, {}]", z.from, z.to),
+            ));
+        }
+        if i > 0 {
+            let prev = g.zones[i - 1].to;
+            if z.from < prev - 1e-12 {
+                return Err(InputError::new(
+                    z.line,
+                    section,
+                    format!(
+                        "overlapping axial stack: this zone starts at {} but the previous zone \
+                         ends at {prev}",
+                        z.from
+                    ),
+                ));
+            }
+            if z.from > prev + 1e-12 {
+                return Err(InputError::new(
+                    z.line,
+                    section,
+                    format!(
+                        "gap in the axial stack: this zone starts at {} but the previous zone \
+                         ends at {prev}",
+                        z.from
+                    ),
+                ));
+            }
+        }
+        let kind = match &z.kind {
+            ZoneKindSpec::AsIs => ZoneKind::AsIs,
+            ZoneKindSpec::AllTo(name) => {
+                ZoneKind::AllTo(resolve_material(&library, name, z.line, &section)?)
+            }
+            ZoneKindSpec::Map(pairs) => {
+                let mut map = Vec::with_capacity(pairs.len());
+                for (from, to) in pairs {
+                    map.push((
+                        resolve_material(&library, from, z.line, &section)?,
+                        resolve_material(&library, to, z.line, &section)?,
+                    ));
+                }
+                ZoneKind::Map(map)
+            }
+        };
+        zones.push(Zone { z_lo: z.from, z_hi: z.to, kind });
+    }
+    let z_range = (zones[0].z_lo, zones.last().unwrap().z_hi);
+
+    let geometry = b.finalize(
+        root_uni,
+        width.0,
+        width.1,
+        (width.0 / 2.0, width.1 / 2.0),
+        z_range,
+        core.boundary,
+    );
+    let axial = AxialModel::new(zones, g.axial_dz);
+
+    // Sources and gate references resolve against the final library.
+    let num_groups = library.num_groups();
+    let mut sources = Vec::with_capacity(spec.sources.len());
+    for (i, src) in spec.sources.iter().enumerate() {
+        let section = format!("[[source]] #{}", i + 1);
+        let material = resolve_material(&library, &src.material, src.line, &section)?;
+        let mut groups = Vec::with_capacity(src.groups.len());
+        for &gidx in &src.groups {
+            if gidx > num_groups {
+                return Err(InputError::new(
+                    src.line,
+                    section.clone(),
+                    format!("group {gidx} is out of range; the library has {num_groups} groups"),
+                ));
+            }
+            groups.push(gidx - 1);
+        }
+        sources.push(LoweredSource { material, groups, strength: src.strength });
+    }
+    if let Some(fr) = &spec.gates.flux_ratio {
+        resolve_material(&library, &fr.from, 1, "[gates] flux_ratio")?;
+        resolve_material(&library, &fr.to, 1, "[gates] flux_ratio")?;
+        if fr.group > num_groups {
+            return Err(InputError::new(
+                1,
+                "[gates] flux_ratio",
+                format!("group {} is out of range; the library has {num_groups} groups", fr.group),
+            ));
+        }
+    }
+
+    Ok(LoweredModel { geometry, axial, library, pin_layout, sources })
+}
+
+/// Convenience: parse then lower.
+pub fn lower_text(text: &str) -> Result<LoweredModel, InputError> {
+    lower(&CaseSpec::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PIN_CELL: &str = r#"
+[case]
+name = "pin"
+
+[materials]
+library = "c5g7"
+
+[[pin]]
+name = "uo2"
+fuel = "UO2"
+moderator = "moderator"
+pitch = 1.26
+radius = 0.54
+rings = 3
+sectors = 4
+
+[[lattice]]
+name = "cell"
+pitch = [1.26, 1.26]
+key = { U = "uo2" }
+rows = ["U"]
+
+[core]
+root = "cell"
+
+[[zone]]
+from = 0.0
+to = 10.0
+
+[axial]
+dz = 5.0
+"#;
+
+    #[test]
+    fn pin_cell_lowers_to_expected_fsrs() {
+        let m = lower_text(PIN_CELL).unwrap();
+        // 3 rings x 4 sectors fuel + 4 moderator sectors.
+        assert_eq!(m.geometry.num_fsrs(), 16);
+        assert_eq!(m.pin_layout, PinLayout::OneLevel);
+        assert_eq!(m.axial.z_range(), (0.0, 10.0));
+        let (uo2, _) = m.library.by_name("UO2").unwrap();
+        assert_eq!(m.geometry.find(0.63, 0.63).unwrap().material, uo2);
+        let total: f64 = m.geometry.fsrs().filter_map(|f| m.geometry.fsr_area_hint(f)).sum();
+        assert!((total - 1.26 * 1.26).abs() < 1e-12, "hinted {total}");
+    }
+
+    #[test]
+    fn one_level_pin_addresses_decode() {
+        let m = lower_text(PIN_CELL).unwrap();
+        let loc = m.geometry.find(0.63, 0.63).unwrap();
+        let addr = m.pin_of_fsr(loc.fsr).unwrap();
+        assert_eq!(addr.assembly, (0, 0));
+        assert_eq!(addr.pin, (0, 0));
+    }
+
+    #[test]
+    fn unknown_material_ref_points_at_the_pin() {
+        let text = PIN_CELL.replace("fuel = \"UO2\"", "fuel = \"UO3\"");
+        let e = lower_text(&text).unwrap_err();
+        assert!(e.message.contains("UO3"), "{e}");
+        assert!(e.message.contains("the library has"), "{e}");
+        assert!(e.context.contains("pin"), "{e}");
+        assert!(e.line > 1, "{e}");
+    }
+
+    #[test]
+    fn overlapping_axial_stack_is_rejected() {
+        let extra = "\n[[zone]]\nfrom = 8.0\nto = 20.0\n";
+        let text = format!("{PIN_CELL}{extra}");
+        let e = lower_text(&text).unwrap_err();
+        assert!(e.message.contains("overlapping"), "{e}");
+        assert!(e.context.contains("#2"), "{e}");
+    }
+
+    #[test]
+    fn axial_gap_is_rejected() {
+        let extra = "\n[[zone]]\nfrom = 12.0\nto = 20.0\n";
+        let text = format!("{PIN_CELL}{extra}");
+        let e = lower_text(&text).unwrap_err();
+        assert!(e.message.contains("gap"), "{e}");
+    }
+
+    #[test]
+    fn alias_clones_a_material() {
+        let text = PIN_CELL.replace(
+            "library = \"c5g7\"",
+            "library = \"c5g7\"\naliases = [[\"my-water\", \"moderator\"]]",
+        );
+        let m = lower_text(&text).unwrap();
+        let (id, mat) = m.library.by_name("my-water").unwrap();
+        assert_eq!(mat.name, "my-water");
+        let (base, base_mat) = m.library.by_name("moderator").unwrap();
+        assert_ne!(id, base);
+        assert_eq!(mat.num_groups(), base_mat.num_groups());
+    }
+
+    #[test]
+    fn lattice_pitch_must_match_pin_pitch() {
+        let text = PIN_CELL.replace("pitch = [1.26, 1.26]", "pitch = [2.0, 2.0]");
+        let e = lower_text(&text).unwrap_err();
+        assert!(e.message.contains("pitch"), "{e}");
+    }
+
+    #[test]
+    fn nested_lattice_must_fill_parent_cell() {
+        let extra = "\n[[lattice]]\nname = \"outer\"\npitch = [2.0, 2.0]\n\
+                     key = { C = \"cell\" }\nrows = [\"C\"]\n";
+        let text = format!("{PIN_CELL}{extra}").replace("root = \"cell\"", "root = \"outer\"");
+        let e = lower_text(&text).unwrap_err();
+        assert!(e.message.contains("spans"), "{e}");
+    }
+
+    #[test]
+    fn two_level_layout_detected_for_nested_lattices() {
+        let extra = "\n[[lattice]]\nname = \"outer\"\npitch = [1.26, 1.26]\n\
+                     key = { C = \"cell\" }\nrows = [\"CC\", \"CC\"]\n";
+        let text = format!("{PIN_CELL}{extra}").replace("root = \"cell\"", "root = \"outer\"");
+        let m = lower_text(&text).unwrap();
+        assert_eq!(m.pin_layout, PinLayout::TwoLevel);
+        assert_eq!(m.geometry.num_fsrs(), 4 * 16);
+        // Pin (0, 0) of assembly (1, 1): x, y in the upper-right cell.
+        let loc = m.geometry.find(1.26 + 0.63, 1.26 + 0.63).unwrap();
+        let addr = m.pin_of_fsr(loc.fsr).unwrap();
+        assert_eq!(addr.assembly, (1, 1));
+        assert_eq!(addr.pin, (0, 0));
+    }
+
+    #[test]
+    fn sources_resolve_to_zero_based_groups() {
+        let text = PIN_CELL.replace(
+            "[axial]",
+            "[[source]]\nmaterial = \"moderator\"\ngroups = [1, 7]\nstrength = 2.5\n\n[axial]",
+        );
+        let m = lower_text(&text).unwrap();
+        assert_eq!(m.sources.len(), 1);
+        assert_eq!(m.sources[0].groups, vec![0, 6]);
+        assert_eq!(m.sources[0].strength, 2.5);
+
+        let bad = text.replace("groups = [1, 7]", "groups = [8]");
+        let e = lower_text(&bad).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn cell_pin_takes_area_from_its_lattice() {
+        let text = PIN_CELL.replace(
+            "key = { U = \"uo2\" }\nrows = [\"U\"]",
+            "key = { U = \"uo2\", W = \"water\" }\nrows = [\"UW\"]",
+        );
+        let text = text.replace(
+            "[[lattice]]",
+            "[[pin]]\nname = \"water\"\nfill = \"moderator\"\n\n[[lattice]]",
+        );
+        let m = lower_text(&text).unwrap();
+        assert_eq!(m.geometry.num_fsrs(), 17);
+        let total: f64 = m.geometry.fsrs().filter_map(|f| m.geometry.fsr_area_hint(f)).sum();
+        assert!((total - 2.0 * 1.26 * 1.26).abs() < 1e-12, "hinted {total}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property: the canonical re-emission of a case file is a fixed point.
+//! For random valid lattice cases, `parse -> emit -> parse -> emit`
+//! yields byte-identical text, and both parses lower to the same
+//! geometry. This is what lets tooling rewrite case files (formatting,
+//! baseline stamping) without perturbing the problem they describe.
+
+use antmoc_input::{lower, CaseSpec};
+use proptest::prelude::*;
+
+/// Builds a random-but-valid case file: one fuel pin and one water
+/// cell pin in an `nx x ny` lattice, one or two axial zones.
+#[allow(clippy::too_many_arguments)]
+fn case_text(
+    fuel: &str,
+    pitch: f64,
+    radius_frac: f64,
+    nx: usize,
+    ny: usize,
+    water_col: usize,
+    height: f64,
+    dz_frac: f64,
+    two_zones: bool,
+) -> String {
+    let radius = pitch * radius_frac;
+    let row: String = (0..nx).map(|ix| if ix == water_col % nx { 'W' } else { 'P' }).collect();
+    let rows: Vec<String> = (0..ny).map(|_| format!("  {:?},", row)).collect();
+    let zones = if two_zones {
+        format!(
+            "[[zone]]\nfrom = 0.0\nto = {:?}\n\n[[zone]]\nfrom = {:?}\nto = {:?}\nall_to = \"moderator\"\n",
+            height / 2.0,
+            height / 2.0,
+            height
+        )
+    } else {
+        format!("[[zone]]\nfrom = 0.0\nto = {height:?}\n")
+    };
+    format!(
+        r#"[case]
+name = "prop-case"
+kind = "eigenvalue"
+
+[materials]
+library = "c5g7"
+
+[[pin]]
+name = "p"
+fuel = {fuel:?}
+moderator = "moderator"
+pitch = {pitch:?}
+radius = {radius:?}
+
+[[pin]]
+name = "w"
+fill = "moderator"
+
+[[lattice]]
+name = "lat"
+pitch = [{pitch:?}, {pitch:?}]
+key = {{ P = "p", W = "w" }}
+rows = [
+{rows}
+]
+
+[core]
+root = "lat"
+
+{zones}
+[axial]
+dz = {dz:?}
+
+[tracks]
+num_azim = 4
+
+[solver]
+backend = "cpu-serial"
+tolerance = 1e-4
+"#,
+        rows = rows.join("\n"),
+        dz = height * dz_frac,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn emit_is_a_fixed_point_and_lowering_agrees(
+        fuel_pick in 0usize..3,
+        pitch in 0.6f64..2.0,
+        radius_frac in 0.2f64..0.45,
+        dims in 0usize..16,
+        water_col in 0usize..5,
+        height in 1.0f64..5.0,
+        dz_frac in 0.3f64..1.0,
+        zone_pick in 0usize..2,
+    ) {
+        let (nx, ny) = (dims % 4 + 1, dims / 4 + 1);
+        let two_zones = zone_pick == 1;
+        let fuel = ["UO2", "MOX-4.3", "fission-chamber"][fuel_pick];
+        let text = case_text(
+            fuel, pitch, radius_frac, nx, ny, water_col, height, dz_frac, two_zones,
+        );
+        let spec1 = CaseSpec::parse(&text).unwrap();
+        let emitted1 = spec1.emit();
+        let spec2 = CaseSpec::parse(&emitted1)
+            .unwrap_or_else(|e| panic!("re-parse of emitted text failed: {e}\n{emitted1}"));
+        let emitted2 = spec2.emit();
+        prop_assert_eq!(&emitted1, &emitted2, "emit is not a fixed point");
+
+        let low1 = lower(&spec1).unwrap();
+        let low2 = lower(&spec2).unwrap();
+        prop_assert_eq!(low1.geometry.num_fsrs(), low2.geometry.num_fsrs());
+        prop_assert_eq!(low1.axial.num_cells(), low2.axial.num_cells());
+        for f in low1.geometry.fsrs() {
+            prop_assert_eq!(
+                low1.geometry.fsr_material(f),
+                low2.geometry.fsr_material(f)
+            );
+        }
+    }
+}

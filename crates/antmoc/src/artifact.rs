@@ -71,6 +71,18 @@ fn run_section(report: &RunReport) -> Json {
         ("num_3d_segments".into(), Json::Uint(report.num_3d_segments)),
         ("num_fsrs".into(), Json::Uint(report.num_fsrs as u64)),
         ("comm_bytes".into(), Json::Uint(report.comm_bytes)),
+        (
+            "material_flux".into(),
+            Json::Obj(
+                report
+                    .material_flux
+                    .iter()
+                    .map(|(name, flux)| {
+                        (name.clone(), Json::Arr(flux.iter().map(|&x| Json::Num(x)).collect()))
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -86,6 +98,7 @@ mod tests {
             iterations: 42,
             converged: true,
             pin_rates: PinRates::default(),
+            material_flux: vec![("uo2".into(), vec![1.0, 0.5])],
             timings: StageTimings { geometry: 0.1, tracking: 0.2, transport: 3.0, output: 0.05 },
             num_2d_tracks: 100,
             num_3d_tracks: 1000,

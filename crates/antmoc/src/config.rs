@@ -61,6 +61,7 @@ use std::collections::HashMap;
 use antmoc_cluster::fault::{FaultConfig, RankDeath};
 use antmoc_geom::c5g7::{C5g7Options, RoddedConfig};
 use antmoc_gpusim::DeviceSpec;
+use antmoc_input::{CaseKind, CaseSpec};
 use antmoc_quadrature::PolarType;
 use antmoc_solver::device::CuMapping;
 use antmoc_solver::{EigenOptions, ExpMode, KernelConfig, ScheduleKind, StorageMode, TallyMode};
@@ -122,10 +123,52 @@ impl Default for TelemetrySettings {
     }
 }
 
+/// What geometry the run solves: the hardcoded C5G7 benchmark (the
+/// INI-style `[model]` section) or a declarative case file lowered
+/// through `antmoc-input`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    C5g7(C5g7Options),
+    Lattice(Box<CaseSpec>),
+}
+
+impl ModelSpec {
+    /// The C5G7 options; panics for a declarative case (callers that
+    /// tweak benchmark resolution knobs only make sense on C5G7).
+    pub fn c5g7(&self) -> &C5g7Options {
+        match self {
+            ModelSpec::C5g7(opts) => opts,
+            ModelSpec::Lattice(spec) => {
+                panic!("model is the declarative case {:?}, not C5G7", spec.name)
+            }
+        }
+    }
+
+    /// Mutable access to the C5G7 options; panics for a declarative case.
+    pub fn c5g7_mut(&mut self) -> &mut C5g7Options {
+        match self {
+            ModelSpec::C5g7(opts) => opts,
+            ModelSpec::Lattice(spec) => {
+                panic!("model is the declarative case {:?}, not C5G7", spec.name)
+            }
+        }
+    }
+
+    /// The declarative case, if that is what the run solves.
+    pub fn case(&self) -> Option<&CaseSpec> {
+        match self {
+            ModelSpec::C5g7(_) => None,
+            ModelSpec::Lattice(spec) => Some(spec),
+        }
+    }
+}
+
 /// The full run configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
-    pub model: C5g7Options,
+    pub model: ModelSpec,
+    /// Case label for telemetry and report metadata.
+    pub case_name: String,
     pub tracks: TrackParams,
     pub eigen: EigenOptions,
     pub mode: StorageMode,
@@ -140,6 +183,9 @@ pub struct RunConfig {
     /// attached to the run artifact; 0 disables it (single-domain CPU
     /// runs only).
     pub balance_sweeps: usize,
+    /// Whether fixed-source solves keep the fission production term
+    /// (`[solver] fission`); pure shielding problems leave it off.
+    pub fixed_fission: bool,
     /// Fault injection and recovery (`[fault]`); disabled by default.
     pub fault: FaultSettings,
     /// Tracing and timeline export (`[telemetry]`); off by default.
@@ -149,7 +195,8 @@ pub struct RunConfig {
 impl Default for RunConfig {
     fn default() -> Self {
         Self {
-            model: C5g7Options::default(),
+            model: ModelSpec::C5g7(C5g7Options::default()),
+            case_name: "c5g7".into(),
             tracks: TrackParams::default(),
             eigen: EigenOptions::default(),
             mode: StorageMode::Otf,
@@ -158,6 +205,7 @@ impl Default for RunConfig {
             kernel: KernelConfig::default(),
             decomposition: (1, 1, 1),
             balance_sweeps: 0,
+            fixed_fission: false,
             fault: FaultSettings::default(),
             telemetry: TelemetrySettings::default(),
         }
@@ -179,10 +227,14 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Section -> key -> (source line, raw value); the shared intermediate
+/// both the INI parser and the case-file bridge produce.
+type Sections = HashMap<String, HashMap<String, (usize, String)>>;
+
 impl RunConfig {
     /// Parses the INI-style text format.
     pub fn parse(text: &str) -> Result<Self, ConfigError> {
-        let mut sections: HashMap<String, HashMap<String, (usize, String)>> = HashMap::new();
+        let mut sections: Sections = HashMap::new();
         let mut current = String::from("");
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
@@ -209,7 +261,58 @@ impl RunConfig {
                 .or_default()
                 .insert(key.trim().to_lowercase(), (line, value.trim().to_string()));
         }
+        Self::from_sections(&sections)
+    }
 
+    /// Builds a configuration from a declarative case: the case's
+    /// pass-through sections feed the same interpreter the INI format
+    /// uses, the geometry sections become the model. The case is lowered
+    /// once here so every reference error surfaces at config time rather
+    /// than mid-pipeline.
+    pub fn from_case(spec: &CaseSpec) -> Result<Self, ConfigError> {
+        let mut sections: Sections = HashMap::new();
+        for (name, entries) in &spec.raw {
+            let sec = sections.entry(name.clone()).or_default();
+            for (key, e) in entries {
+                sec.insert(key.to_lowercase(), (e.line, e.value.clone()));
+            }
+        }
+        let mut cfg = Self::from_sections(&sections)?;
+        cfg.case_name = spec.name.clone();
+        cfg.model = ModelSpec::Lattice(Box::new(spec.clone()));
+
+        antmoc_input::lower(spec).map_err(|e| ConfigError {
+            line: e.line,
+            message: format!("({}) {}", e.context, e.message),
+        })?;
+
+        if spec.kind == CaseKind::FixedSource {
+            if cfg.decomposition != (1, 1, 1) {
+                return Err(ConfigError {
+                    line: 0,
+                    message: "fixed-source cases run single-domain; set [decomposition] to 1x1x1"
+                        .into(),
+                });
+            }
+            if matches!(cfg.backend, BackendConfig::Device { .. }) {
+                return Err(ConfigError {
+                    line: 0,
+                    message: "fixed-source cases run on cpu or cpu-serial backends".into(),
+                });
+            }
+        }
+        if cfg.decomposition != (1, 1, 1) {
+            return Err(ConfigError {
+                line: 0,
+                message: "declarative cases run single-domain for now; set [decomposition] to \
+                          1x1x1"
+                    .into(),
+            });
+        }
+        Ok(cfg)
+    }
+
+    fn from_sections(sections: &Sections) -> Result<Self, ConfigError> {
         let mut cfg = RunConfig::default();
         let get = |sec: &str, key: &str| -> Option<(usize, String)> {
             sections.get(sec).and_then(|s| s.get(key)).cloned()
@@ -233,7 +336,7 @@ impl RunConfig {
             }
         }
         if let Some((line, v)) = get("model", "rodded") {
-            cfg.model.config = match v.to_lowercase().as_str() {
+            cfg.model.c5g7_mut().config = match v.to_lowercase().as_str() {
                 "unrodded" => RoddedConfig::Unrodded,
                 "a" | "rodded-a" => RoddedConfig::RoddedA,
                 "b" | "rodded-b" => RoddedConfig::RoddedB,
@@ -245,11 +348,11 @@ impl RunConfig {
                 }
             };
         }
-        cfg.model.fuel_rings = parse_num(get("model", "fuel_rings"), cfg.model.fuel_rings)?;
-        cfg.model.sectors = parse_num(get("model", "sectors"), cfg.model.sectors)?;
-        cfg.model.reflector_refine =
-            parse_num(get("model", "reflector_refine"), cfg.model.reflector_refine)?;
-        cfg.model.axial_dz = parse_num(get("model", "axial_dz"), cfg.model.axial_dz)?;
+        let m = cfg.model.c5g7_mut();
+        m.fuel_rings = parse_num(get("model", "fuel_rings"), m.fuel_rings)?;
+        m.sectors = parse_num(get("model", "sectors"), m.sectors)?;
+        m.reflector_refine = parse_num(get("model", "reflector_refine"), m.reflector_refine)?;
+        m.axial_dz = parse_num(get("model", "axial_dz"), m.axial_dz)?;
 
         // [tracks]
         cfg.tracks.num_azim = parse_num(get("tracks", "num_azim"), cfg.tracks.num_azim)?;
@@ -302,6 +405,7 @@ impl RunConfig {
             },
         };
         cfg.balance_sweeps = parse_num(get("solver", "balance_sweeps"), cfg.balance_sweeps)?;
+        cfg.fixed_fission = parse_num(get("solver", "fission"), cfg.fixed_fission)?;
         if let Some((line, v)) = get("solver", "schedule") {
             cfg.schedule = match v.to_lowercase().as_str() {
                 "natural" => ScheduleKind::Natural,
@@ -482,8 +586,8 @@ nz = 2
     #[test]
     fn parses_the_paper_configuration() {
         let cfg = RunConfig::parse(SAMPLE).unwrap();
-        assert_eq!(cfg.model.fuel_rings, 2);
-        assert_eq!(cfg.model.sectors, 4);
+        assert_eq!(cfg.model.c5g7().fuel_rings, 2);
+        assert_eq!(cfg.model.c5g7().sectors, 4);
         assert_eq!(cfg.tracks.num_azim, 4);
         assert_eq!(cfg.tracks.num_polar, 4);
         assert!((cfg.tracks.axial_spacing - 0.1).abs() < 1e-12);
@@ -626,8 +730,87 @@ nz = 2
     #[test]
     fn rodded_variants_parse() {
         let a = RunConfig::parse("[model]\nrodded = a\n").unwrap();
-        assert_eq!(a.model.config, RoddedConfig::RoddedA);
+        assert_eq!(a.model.c5g7().config, RoddedConfig::RoddedA);
         let b = RunConfig::parse("[model]\nrodded = rodded-b\n").unwrap();
-        assert_eq!(b.model.config, RoddedConfig::RoddedB);
+        assert_eq!(b.model.c5g7().config, RoddedConfig::RoddedB);
+    }
+
+    const CASE: &str = r#"
+[case]
+name = "pin"
+
+[materials]
+library = "c5g7"
+
+[[pin]]
+name = "uo2"
+fuel = "UO2"
+moderator = "moderator"
+pitch = 1.26
+radius = 0.54
+
+[[lattice]]
+name = "cell"
+pitch = [1.26, 1.26]
+key = { U = "uo2" }
+rows = ["U"]
+
+[core]
+root = "cell"
+
+[[zone]]
+from = 0.0
+to = 10.0
+
+[axial]
+dz = 5.0
+
+[tracks]
+num_azim = 4
+radial_spacing = 0.6
+
+[solver]
+tolerance = 2e-4
+mode = otf
+backend = cpu-serial
+"#;
+
+    #[test]
+    fn from_case_threads_passthrough_sections() {
+        let spec = CaseSpec::parse(CASE).unwrap();
+        let cfg = RunConfig::from_case(&spec).unwrap();
+        assert_eq!(cfg.case_name, "pin");
+        assert!(cfg.model.case().is_some());
+        assert_eq!(cfg.tracks.num_azim, 4);
+        assert!((cfg.tracks.radial_spacing - 0.6).abs() < 1e-12);
+        assert!((cfg.eigen.tolerance - 2e-4).abs() < 1e-18);
+        assert_eq!(cfg.backend, BackendConfig::CpuSerial);
+    }
+
+    #[test]
+    fn from_case_rejects_broken_references_up_front() {
+        let text = CASE.replace("fuel = \"UO2\"", "fuel = \"UO3\"");
+        let spec = CaseSpec::parse(&text).unwrap();
+        let err = RunConfig::from_case(&spec).unwrap_err();
+        assert!(err.message.contains("UO3"), "{err}");
+    }
+
+    #[test]
+    fn from_case_rejects_decomposed_runs() {
+        let text = format!("{CASE}\n[decomposition]\nnx = 2\n");
+        let spec = CaseSpec::parse(&text).unwrap();
+        let err = RunConfig::from_case(&spec).unwrap_err();
+        assert!(err.message.contains("single-domain"), "{err}");
+    }
+
+    #[test]
+    fn from_case_rejects_fixed_source_on_device() {
+        let text = CASE
+            .replace("name = \"pin\"", "name = \"pin\"\nkind = \"fixed-source\"")
+            .replace("backend = cpu-serial", "backend = device")
+            .replace("[tracks]", "[[source]]\nmaterial = \"moderator\"\ngroups = [1]\n\n[tracks]");
+        let spec = CaseSpec::parse(&text).unwrap();
+        let err = RunConfig::from_case(&spec).unwrap_err();
+        assert!(err.message.contains("cpu"), "{err}");
     }
 }

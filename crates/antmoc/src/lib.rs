@@ -29,7 +29,7 @@ pub mod output;
 pub mod pipeline;
 
 pub use artifact::{run_artifact, write_run_artifact, write_trace_artifact};
-pub use config::{BackendConfig, RunConfig};
+pub use config::{BackendConfig, ModelSpec, RunConfig};
 pub use output::PinRates;
 pub use pipeline::{run, RunReport, StageTimings};
 
@@ -38,6 +38,7 @@ pub use antmoc_balance as balance;
 pub use antmoc_cluster as cluster;
 pub use antmoc_geom as geom;
 pub use antmoc_gpusim as gpusim;
+pub use antmoc_input as input;
 pub use antmoc_perfmodel as perfmodel;
 pub use antmoc_quadrature as quadrature;
 pub use antmoc_solver as solver;

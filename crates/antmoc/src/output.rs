@@ -26,6 +26,16 @@ impl PinRates {
         model: &C5g7,
         parts: impl Iterator<Item = (&'a Problem, &'a [f64])>,
     ) -> Self {
+        Self::aggregate_with(|radial| model.pin_of_fsr(radial), parts)
+    }
+
+    /// Aggregation core over an arbitrary radial-FSR-to-pin decoder, so
+    /// declaratively described lattices reuse the same tally path as the
+    /// hardcoded C5G7 model.
+    pub fn aggregate_with<'a>(
+        pin_of_fsr: impl Fn(antmoc_geom::FsrId) -> Option<PinAddress>,
+        parts: impl Iterator<Item = (&'a Problem, &'a [f64])>,
+    ) -> Self {
         let mut rates: HashMap<PinAddress, f64> = HashMap::new();
         for (problem, fsr_rates) in parts {
             let map = &problem.layout.fsr3d;
@@ -34,7 +44,7 @@ impl PinRates {
                     continue;
                 }
                 let (radial, _axial) = map.split(Fsr3dId(i as u32));
-                if let Some(pin) = model.pin_of_fsr(radial) {
+                if let Some(pin) = pin_of_fsr(radial) {
                     *rates.entry(pin).or_insert(0.0) += r;
                 }
             }
@@ -44,9 +54,19 @@ impl PinRates {
         out
     }
 
+    /// Rates in deterministic (sorted `PinAddress`) order. Reductions sum
+    /// in this order so a report is bitwise reproducible across runs —
+    /// `HashMap` iteration order differs per instance.
+    fn sorted(&self) -> Vec<(PinAddress, f64)> {
+        let mut v: Vec<_> = self.rates.iter().map(|(&a, &r)| (a, r)).collect();
+        v.sort_unstable_by_key(|&(a, _)| a);
+        v
+    }
+
     /// Normalises to mean 1 over pins with non-zero rate.
     fn normalise(&mut self) {
-        let hot: Vec<f64> = self.rates.values().copied().filter(|&r| r > 0.0).collect();
+        let hot: Vec<f64> =
+            self.sorted().into_iter().map(|(_, r)| r).filter(|&r| r > 0.0).collect();
         if hot.is_empty() {
             return;
         }
@@ -63,12 +83,19 @@ impl PinRates {
 
     /// Mean over non-zero pins (1.0 after normalisation).
     pub fn mean(&self) -> f64 {
-        let hot: Vec<f64> = self.rates.values().copied().filter(|&r| r > 0.0).collect();
+        let hot: Vec<f64> =
+            self.sorted().into_iter().map(|(_, r)| r).filter(|&r| r > 0.0).collect();
         if hot.is_empty() {
             0.0
         } else {
             hot.iter().sum::<f64>() / hot.len() as f64
         }
+    }
+
+    /// All entries, sorted by address — the deterministic view a report
+    /// writer or an identity test should consume.
+    pub fn entries(&self) -> Vec<(PinAddress, f64)> {
+        self.sorted()
     }
 
     /// Number of pins with a recorded rate.

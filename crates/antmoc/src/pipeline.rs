@@ -5,18 +5,60 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use antmoc_geom::c5g7::C5g7;
+use antmoc_geom::c5g7::{C5g7, PinAddress};
+use antmoc_geom::{AxialModel, FsrId, Geometry};
 use antmoc_gpusim::{Device, DeviceSpec};
+use antmoc_input::{CaseKind, LoweredModel};
 use antmoc_solver::cluster::{solve_cluster, Backend, SerialSweeper};
 use antmoc_solver::decomp::{DecompSpec, Decomposition};
 use antmoc_solver::device::DeviceSolver;
+use antmoc_solver::fixed::{solve_fixed_source, FixedSourceOptions};
 use antmoc_solver::{
     fission_rates, solve_cluster_recovering, solve_eigenvalue, CpuSweeper, Problem,
     RecoveryOptions, ScheduleKind, SegmentSource, StorageMode, SweepSchedule,
 };
+use antmoc_xs::MaterialLibrary;
 
-use crate::config::{BackendConfig, RunConfig};
+use crate::config::{BackendConfig, ModelSpec, RunConfig};
 use crate::output::PinRates;
+
+/// The geometry model a run solves: the hardcoded C5G7 builder or a
+/// lowered declarative case. Both expose the same pieces the tracker,
+/// solver, and tally stages consume.
+pub enum BuiltModel {
+    C5g7(C5g7),
+    Lattice(LoweredModel),
+}
+
+impl BuiltModel {
+    fn geometry(&self) -> &Geometry {
+        match self {
+            BuiltModel::C5g7(m) => &m.geometry,
+            BuiltModel::Lattice(m) => &m.geometry,
+        }
+    }
+
+    fn axial(&self) -> &AxialModel {
+        match self {
+            BuiltModel::C5g7(m) => &m.axial,
+            BuiltModel::Lattice(m) => &m.axial,
+        }
+    }
+
+    fn library(&self) -> &MaterialLibrary {
+        match self {
+            BuiltModel::C5g7(m) => &m.library,
+            BuiltModel::Lattice(m) => &m.library,
+        }
+    }
+
+    fn pin_of_fsr(&self, radial: FsrId) -> Option<PinAddress> {
+        match self {
+            BuiltModel::C5g7(m) => m.pin_of_fsr(radial),
+            BuiltModel::Lattice(m) => m.pin_of_fsr(radial),
+        }
+    }
+}
 
 /// Wall-clock seconds per pipeline stage.
 #[derive(Debug, Clone, Default)]
@@ -30,11 +72,16 @@ pub struct StageTimings {
 /// The result of a full run.
 #[derive(Debug)]
 pub struct RunReport {
+    /// Eigenvalue for eigenvalue runs; 0 for fixed-source runs, where no
+    /// eigenvalue is computed.
     pub keff: f64,
     pub iterations: usize,
     pub converged: bool,
     /// Normalised assembly pin-wise fission rates (mean 1 over fuel pins).
     pub pin_rates: PinRates,
+    /// Volume-weighted mean scalar flux per material and group, in
+    /// library order (single-domain runs; empty for decomposed runs).
+    pub material_flux: Vec<(String, Vec<f64>)>,
     pub timings: StageTimings,
     /// Counters for the run log.
     pub num_2d_tracks: usize,
@@ -57,7 +104,7 @@ pub fn run(config: &RunConfig) -> RunReport {
     };
     tel.set_tracing(trace_on, config.telemetry.trace_cap);
     let (nx, ny, nz) = config.decomposition;
-    tel.set_meta("case", "c5g7");
+    tel.set_meta("case", &config.case_name);
     tel.set_meta(
         "backend",
         match &config.backend {
@@ -89,18 +136,26 @@ pub fn run(config: &RunConfig) -> RunReport {
     let t0 = Instant::now();
     let model = {
         let _s = tel.span("geometry");
-        C5g7::build(config.model.clone())
+        match &config.model {
+            ModelSpec::C5g7(opts) => BuiltModel::C5g7(C5g7::build(opts.clone())),
+            ModelSpec::Lattice(spec) => BuiltModel::Lattice(
+                antmoc_input::lower(spec).expect("case validated by RunConfig::from_case"),
+            ),
+        }
     };
     let geometry_s = t0.elapsed().as_secs_f64();
 
     if nx * ny * nz == 1 {
         run_single(config, model, geometry_s)
     } else {
+        let BuiltModel::C5g7(model) = model else {
+            unreachable!("RunConfig::from_case rejects decomposed declarative cases")
+        };
         run_decomposed(config, model, geometry_s)
     }
 }
 
-fn run_single(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
+fn run_single(config: &RunConfig, model: BuiltModel, geometry_s: f64) -> RunReport {
     let tel = antmoc_telemetry::Telemetry::global();
 
     // Stage 3: track generation and ray tracing.
@@ -108,63 +163,86 @@ fn run_single(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
     let problem = {
         let _s = tel.span("tracking");
         Problem::build(
-            model.geometry.clone(),
-            model.axial.clone(),
-            &model.library,
+            model.geometry().clone(),
+            model.axial().clone(),
+            model.library(),
             config.tracks.clone(),
         )
     };
     let tracking_s = t.elapsed().as_secs_f64();
 
+    let fixed_source =
+        matches!(&config.model, ModelSpec::Lattice(s) if s.kind == CaseKind::FixedSource);
+
     // Stage 4: transport solving.
     let t = Instant::now();
     let transport_span = tel.span("transport");
-    let result = match &config.backend {
-        BackendConfig::Cpu => {
-            let segsrc = match config.mode {
-                StorageMode::Otf => SegmentSource::otf(),
-                StorageMode::Explicit => {
-                    let all: Vec<_> = problem.layout.tracks3d.ids().collect();
-                    SegmentSource::stored(&problem, &all)
-                }
-                StorageMode::Manager { budget_bytes } => {
-                    let plan = antmoc_solver::manager::select_resident(
-                        &problem,
-                        budget_bytes,
-                        antmoc_solver::manager::RankPolicy::BySegments,
-                    );
-                    SegmentSource::stored(&problem, &plan.resident)
-                }
-            };
-            let schedule = SweepSchedule::for_problem(config.schedule, &problem);
-            let mut sweeper = CpuSweeper::with_kernel(&segsrc, schedule, config.kernel.clone());
-            solve_eigenvalue(&problem, &mut sweeper, &config.eigen)
-        }
-        BackendConfig::CpuSerial => {
-            // The serial backend always traces on the fly; storage modes
-            // are a parallel/device concern.
-            let segsrc = SegmentSource::otf();
-            let mut sweeper = SerialSweeper { segsrc: &segsrc };
-            solve_eigenvalue(&problem, &mut sweeper, &config.eigen)
-        }
-        BackendConfig::Device { memory_bytes, cu_mapping } => {
-            let device = Arc::new(Device::new(DeviceSpec::scaled(*memory_bytes)));
-            let mut solver = DeviceSolver::new(device, &problem, config.mode, *cu_mapping)
-                .expect("device memory too small for the selected mode");
-            solve_eigenvalue(&problem, &mut solver, &config.eigen)
-        }
+    let (keff, iterations, converged, phi) = if fixed_source {
+        let BuiltModel::Lattice(lowered) = &model else {
+            unreachable!("fixed-source runs come from declarative cases")
+        };
+        let external = external_source(&problem, lowered);
+        let opts = FixedSourceOptions {
+            tolerance: config.eigen.tolerance,
+            max_iterations: config.eigen.max_iterations,
+            with_fission: config.fixed_fission,
+        };
+        // Fixed-source cases run single-domain on CPU backends (enforced
+        // by `RunConfig::from_case`); the serial backend traces on the
+        // fly, the parallel one honours the storage mode like the
+        // eigenvalue path.
+        let result = match &config.backend {
+            BackendConfig::Cpu => {
+                let segsrc = segment_source(config, &problem);
+                let schedule = SweepSchedule::for_problem(config.schedule, &problem);
+                let mut sweeper = CpuSweeper::with_kernel(&segsrc, schedule, config.kernel.clone());
+                solve_fixed_source(&problem, &mut sweeper, &external, &opts)
+            }
+            BackendConfig::CpuSerial => {
+                let segsrc = SegmentSource::otf();
+                let mut sweeper = SerialSweeper { segsrc: &segsrc };
+                solve_fixed_source(&problem, &mut sweeper, &external, &opts)
+            }
+            BackendConfig::Device { .. } => {
+                unreachable!("RunConfig::from_case rejects fixed-source device runs")
+            }
+        };
+        (0.0, result.iterations, result.converged, result.phi)
+    } else {
+        let result = match &config.backend {
+            BackendConfig::Cpu => {
+                let segsrc = segment_source(config, &problem);
+                let schedule = SweepSchedule::for_problem(config.schedule, &problem);
+                let mut sweeper = CpuSweeper::with_kernel(&segsrc, schedule, config.kernel.clone());
+                solve_eigenvalue(&problem, &mut sweeper, &config.eigen)
+            }
+            BackendConfig::CpuSerial => {
+                // The serial backend always traces on the fly; storage
+                // modes are a parallel/device concern.
+                let segsrc = SegmentSource::otf();
+                let mut sweeper = SerialSweeper { segsrc: &segsrc };
+                solve_eigenvalue(&problem, &mut sweeper, &config.eigen)
+            }
+            BackendConfig::Device { memory_bytes, cu_mapping } => {
+                let device = Arc::new(Device::new(DeviceSpec::scaled(*memory_bytes)));
+                let mut solver = DeviceSolver::new(device, &problem, config.mode, *cu_mapping)
+                    .expect("device memory too small for the selected mode");
+                solve_eigenvalue(&problem, &mut solver, &config.eigen)
+            }
+        };
+        (result.keff, result.iterations, result.converged, result.phi)
     };
     drop(transport_span);
     let transport_s = t.elapsed().as_secs_f64();
 
-    if config.balance_sweeps > 0 {
+    if config.balance_sweeps > 0 && !fixed_source {
         // Independent eigenvalue check; lands in the artifact's `balance`
         // section (OTF segments keep the check backend-agnostic).
         let balance = antmoc_solver::diagnostics::neutron_balance(
             &problem,
             &SegmentSource::otf(),
-            &result.phi,
-            result.keff,
+            &phi,
+            keff,
             config.balance_sweeps,
         );
         balance.attach_to_telemetry();
@@ -173,16 +251,21 @@ fn run_single(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
     // Stage 5: output generation.
     let t = Instant::now();
     let output_span = tel.span("output");
-    let rates = fission_rates(&problem, &result.phi);
-    let pin_rates = PinRates::aggregate(&model, std::iter::once((&problem, rates.as_slice())));
+    let rates = fission_rates(&problem, &phi);
+    let pin_rates = PinRates::aggregate_with(
+        |radial| model.pin_of_fsr(radial),
+        std::iter::once((&problem, rates.as_slice())),
+    );
+    let material_flux = material_flux(&problem, model.library(), &phi);
     drop(output_span);
     let output_s = t.elapsed().as_secs_f64();
 
     RunReport {
-        keff: result.keff,
-        iterations: result.iterations,
-        converged: result.converged,
+        keff,
+        iterations,
+        converged,
         pin_rates,
+        material_flux,
         timings: StageTimings {
             geometry: geometry_s,
             tracking: tracking_s,
@@ -195,6 +278,81 @@ fn run_single(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
         num_fsrs: problem.num_fsrs(),
         comm_bytes: 0,
     }
+}
+
+/// Builds the segment source for the parallel CPU backend per the
+/// configured storage mode.
+fn segment_source(config: &RunConfig, problem: &Problem) -> SegmentSource {
+    match config.mode {
+        StorageMode::Otf => SegmentSource::otf(),
+        StorageMode::Explicit => {
+            let all: Vec<_> = problem.layout.tracks3d.ids().collect();
+            SegmentSource::stored(problem, &all)
+        }
+        StorageMode::Manager { budget_bytes } => {
+            let plan = antmoc_solver::manager::select_resident(
+                problem,
+                budget_bytes,
+                antmoc_solver::manager::RankPolicy::BySegments,
+            );
+            SegmentSource::stored(problem, &plan.resident)
+        }
+    }
+}
+
+/// Expands a case's `[[source]]` entries into the `(fsr, group)` external
+/// source density the fixed-source solver consumes: every FSR filled with
+/// a source material emits `strength` into each listed group.
+fn external_source(problem: &Problem, lowered: &LoweredModel) -> Vec<f64> {
+    let g = problem.num_groups();
+    let mut external = vec![0.0; problem.num_fsrs() * g];
+    for src in &lowered.sources {
+        for (f, &mat) in problem.xs.fsr_mat.iter().enumerate() {
+            if mat == src.material.0 {
+                for &gi in &src.groups {
+                    external[f * g + gi] += src.strength;
+                }
+            }
+        }
+    }
+    external
+}
+
+/// Volume-weighted mean scalar flux per material and group, in library
+/// order. FSRs are summed in enumeration order so the result is bitwise
+/// reproducible; materials never reached by an FSR report zero flux.
+fn material_flux(
+    problem: &Problem,
+    library: &MaterialLibrary,
+    phi: &[f64],
+) -> Vec<(String, Vec<f64>)> {
+    let g = problem.num_groups();
+    let nmat = library.len();
+    let mut vol = vec![0.0f64; nmat];
+    let mut acc = vec![0.0f64; nmat * g];
+    for f in 0..problem.num_fsrs() {
+        let v = problem.volumes[f];
+        if v <= 0.0 {
+            continue;
+        }
+        let m = problem.xs.fsr_mat[f] as usize;
+        vol[m] += v;
+        for gi in 0..g {
+            acc[m * g + gi] += phi[f * g + gi] * v;
+        }
+    }
+    library
+        .iter()
+        .map(|(id, mat)| {
+            let m = id.0 as usize;
+            let flux: Vec<f64> = if vol[m] > 0.0 {
+                (0..g).map(|gi| acc[m * g + gi] / vol[m]).collect()
+            } else {
+                vec![0.0; g]
+            };
+            (mat.name.clone(), flux)
+        })
+        .collect()
 }
 
 fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
@@ -267,6 +425,7 @@ fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport
         iterations,
         converged,
         pin_rates,
+        material_flux: Vec::new(),
         timings: StageTimings {
             geometry: geometry_s,
             tracking: tracking_s,

@@ -39,7 +39,7 @@ backend = cpu
         ("rodded-B", RoddedConfig::RoddedB),
     ] {
         let mut cfg = base.clone();
-        cfg.model.config = config;
+        cfg.model.c5g7_mut().config = config;
         let report = run(&cfg);
         assert!(report.converged, "{label} did not converge");
         let worth = match k_unrodded {

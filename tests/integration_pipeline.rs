@@ -72,7 +72,7 @@ fn fission_rate_map_shape_matches_the_benchmark() {
 fn rodded_configuration_lowers_keff() {
     let unrodded = run(&coarse("backend = cpu\nmode = otf\n"));
     let mut cfg = coarse("backend = cpu\nmode = otf\n");
-    cfg.model.config = antmoc::geom::c5g7::RoddedConfig::RoddedB;
+    cfg.model.c5g7_mut().config = antmoc::geom::c5g7::RoddedConfig::RoddedB;
     let rodded = run(&cfg);
     assert!(rodded.converged);
     assert!(
@@ -90,7 +90,7 @@ fn axial_power_profile_peaks_at_the_reflective_bottom() {
     use antmoc::solver::{fission_rates, solve_eigenvalue, CpuSweeper, Problem, SegmentSource};
 
     let cfg = coarse("backend = cpu\nmode = otf\n");
-    let model = C5g7::build(cfg.model.clone());
+    let model = C5g7::build(cfg.model.c5g7().clone());
     let problem = Problem::build(
         model.geometry.clone(),
         model.axial.clone(),
@@ -123,7 +123,7 @@ fn group_spectra_show_reflector_thermalisation() {
     use antmoc::solver::{solve_eigenvalue, CpuSweeper, Problem, SegmentSource};
 
     let cfg = coarse("backend = cpu\nmode = otf\n");
-    let model = C5g7::build(cfg.model.clone());
+    let model = C5g7::build(cfg.model.c5g7().clone());
     let problem = Problem::build(
         model.geometry.clone(),
         model.axial.clone(),
