@@ -1,0 +1,160 @@
+//! Overlap figure: what the pipelined boundary exchange buys on a
+//! 4-rank decomposed eigenvalue solve.
+//!
+//! Two experiments on the same 2x2x1 problem, serial backend:
+//!
+//! * **identity** — with an instant interconnect, the pipelined exchange
+//!   must reproduce the synchronous k_eff and per-rank scalar flux
+//!   **bitwise** (same arithmetic, different schedule);
+//! * **overlap** — under a [`LinkModel`] that charges latency and
+//!   bandwidth per message, the pipelined run ships boundary payloads
+//!   while the interior sweep is still working, so its blocking-receive
+//!   tail (`comm.recv_wait_ns` p99) must shrink by at least
+//!   [`MIN_P99_SHRINK`]x versus the synchronous run, and the
+//!   `comm.overlap_ratio` gauge must come out positive.
+//!
+//! Telemetry artifacts for both linked runs land in `results/` so CI can
+//! `report-diff --self --require-gauge comm.overlap_ratio` the pipelined
+//! report.
+//!
+//! ```text
+//! cargo run --release -p antmoc-bench --bin fig_overlap
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use antmoc_cluster::LinkModel;
+use antmoc_geom::geometry::homogeneous_box;
+use antmoc_geom::{AxialModel, Bc, BoundaryConds};
+use antmoc_solver::cluster::{solve_cluster_with, Backend, ClusterOptions, ExchangeMode};
+use antmoc_solver::decomp::{DecompSpec, Decomposition};
+use antmoc_solver::EigenOptions;
+use antmoc_telemetry::Telemetry;
+use antmoc_track::TrackParams;
+
+/// Gate: sync p99 blocking-receive wait over pipelined p99.
+const MIN_P99_SHRINK: f64 = 1.3;
+const ITERATIONS: usize = 12;
+
+/// A 2x2x1 decomposition of a homogeneous UO2 box — four ranks, each
+/// with two face neighbours, small enough for the serial backend.
+fn decomp() -> Decomposition {
+    let lib = antmoc_xs::c5g7::library();
+    let (uo2, _) = lib.by_name("UO2").unwrap();
+    let mut bcs = BoundaryConds::reflective();
+    bcs.z_max = Bc::Vacuum;
+    let g = homogeneous_box(uo2, 4.0, 4.0, (0.0, 8.0), bcs);
+    let axial = AxialModel::uniform(0.0, 8.0, 1.0);
+    let params = TrackParams {
+        num_azim: 4,
+        radial_spacing: 0.4,
+        num_polar: 2,
+        axial_spacing: 0.2,
+        ..Default::default()
+    };
+    Decomposition::build(&g, &axial, &lib, params, DecompSpec { nx: 2, ny: 2, nz: 1 })
+}
+
+/// The simulated interconnect for the overlap experiment: enough latency
+/// and little enough bandwidth that a synchronous exchange visibly
+/// stalls, while a transfer still completes well within one interior
+/// sweep (so the pipelined run's polls find the payload already landed).
+fn link() -> LinkModel {
+    LinkModel {
+        latency: Duration::from_micros(500),
+        ns_per_byte: 50.0, // 20 MB/s
+    }
+}
+
+fn opts(exchange: ExchangeMode, link: LinkModel) -> ClusterOptions {
+    ClusterOptions { exchange, link, ..Default::default() }
+}
+
+fn main() -> ExitCode {
+    println!("# Exchange overlap: 4-rank decomposed solve, serial backend\n");
+    let d = decomp();
+    // A fixed iteration budget (tolerance far below reach) makes every
+    // run execute the same arithmetic, so flux comparison is exact.
+    let eopts = EigenOptions { tolerance: 1e-30, max_iterations: ITERATIONS, ..Default::default() };
+    let backend = Backend::CpuSerial;
+    let zero = LinkModel::default();
+
+    // Part 1 — identity on an instant interconnect.
+    Telemetry::global().reset();
+    let sync0 = solve_cluster_with(&d, &backend, &eopts, &opts(ExchangeMode::Sync, zero));
+    let pipe0 = solve_cluster_with(&d, &backend, &eopts, &opts(ExchangeMode::Pipelined, zero));
+
+    let mut ok = true;
+    if sync0.keff.to_bits() != pipe0.keff.to_bits() {
+        eprintln!(
+            "fig_overlap: FAIL — pipelined k {} is not bit-identical to sync k {}",
+            pipe0.keff, sync0.keff
+        );
+        ok = false;
+    }
+    if sync0.phi != pipe0.phi {
+        eprintln!("fig_overlap: FAIL — pipelined per-rank flux differs from sync");
+        ok = false;
+    }
+    println!(
+        "identity: sync k_eff {:.12} == pipelined k_eff {:.12} (bitwise {})",
+        sync0.keff,
+        pipe0.keff,
+        if ok { "yes" } else { "NO" }
+    );
+
+    // Part 2 — overlap under a charged interconnect.
+    Telemetry::global().reset();
+    let syncl = solve_cluster_with(&d, &backend, &eopts, &opts(ExchangeMode::Sync, link()));
+    let sync_report = Telemetry::global().report();
+    antmoc_bench::write_telemetry_artifact("fig_overlap_sync");
+
+    Telemetry::global().reset();
+    let pipel = solve_cluster_with(&d, &backend, &eopts, &opts(ExchangeMode::Pipelined, link()));
+    let pipe_report = Telemetry::global().report();
+    antmoc_bench::write_telemetry_artifact("fig_overlap_pipelined");
+
+    let sync_p99 = sync_report.histograms.get("comm.recv_wait_ns").map_or(0, |h| h.p99);
+    let pipe_p99 = pipe_report.histograms.get("comm.recv_wait_ns").map_or(0, |h| h.p99);
+    let shrink = sync_p99 as f64 / pipe_p99.max(1) as f64;
+    let overlap = pipe_report.gauges.get("comm.overlap_ratio").map_or(0.0, |g| g.high_water);
+    let ready = pipe_report.counter("comm.recv_ready");
+    let blocked = pipe_report.counter("comm.recv_blocked");
+
+    println!("\n| run | k_eff | recv_wait_ns p99 | overlap ratio |");
+    println!("|---|---|---|---|");
+    println!("| sync | {:.12} | {} | - |", syncl.keff, sync_p99);
+    println!(
+        "| pipelined | {:.12} | {} | {:.2} ({} ready / {} blocked) |",
+        pipel.keff, pipe_p99, overlap, ready, blocked
+    );
+
+    if syncl.keff.to_bits() != pipel.keff.to_bits() {
+        eprintln!("fig_overlap: FAIL — linked pipelined k_eff is not bit-identical to sync");
+        ok = false;
+    }
+    if sync_p99 == 0 {
+        eprintln!("fig_overlap: FAIL — sync run recorded no blocking-receive waits");
+        ok = false;
+    }
+    if shrink < MIN_P99_SHRINK || shrink.is_nan() {
+        eprintln!(
+            "fig_overlap: FAIL — recv_wait_ns p99 shrank only {shrink:.2}x (< {MIN_P99_SHRINK}x)"
+        );
+        ok = false;
+    }
+    if overlap <= 0.0 {
+        eprintln!("fig_overlap: FAIL — comm.overlap_ratio gauge is {overlap} (expected > 0)");
+        ok = false;
+    }
+    if ok {
+        println!(
+            "\nfig_overlap: PASS (bitwise identity, p99 shrink {shrink:.2}x >= \
+             {MIN_P99_SHRINK}x, overlap ratio {overlap:.2})"
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -25,6 +25,12 @@
 //! *fresh* report pass instead of reading as structural breakage, so a
 //! case can gain telemetry (or exist at all) before its committed
 //! baseline is regenerated. Baseline-only metrics still fail.
+//!
+//! `--require-gauge NAME` (repeatable) demands that the fresh report
+//! carries gauge NAME with a positive high-water mark — CI uses it to
+//! insist a pipelined-exchange run actually overlapped
+//! (`comm.overlap_ratio` present and > 0) rather than silently falling
+//! back to synchronous behaviour.
 
 use std::process::ExitCode;
 
@@ -43,6 +49,10 @@ const NOISY_PREFIXES: &[&str] = &[
     "sweep.tally_bytes",
     "comm.retries",
     "comm.recv_wait_ns",
+    "comm.collective_wait_ns",
+    "comm.recv_ready",
+    "comm.recv_blocked",
+    "comm.overlap_ratio",
     "trace.",
 ];
 
@@ -60,11 +70,24 @@ struct Thresholds {
     /// gaining telemetry) can land before its baseline is regenerated.
     /// Baseline-only metrics still fail — those are regressions.
     allow_new: bool,
+    /// Gauges that must exist in the *fresh* report with a positive
+    /// high-water mark (`--require-gauge`, repeatable). Lets CI insist a
+    /// feature actually engaged — e.g. that a pipelined-exchange run
+    /// recorded a nonzero `comm.overlap_ratio` — even when the gauge is
+    /// noisy-exempt from magnitude comparison.
+    require_gauges: Vec<String>,
 }
 
 impl Default for Thresholds {
     fn default() -> Self {
-        Self { counter_tol: 0.5, gauge_tol: 0.5, hist_ratio: 16.0, iter_tol: 0.5, allow_new: false }
+        Self {
+            counter_tol: 0.5,
+            gauge_tol: 0.5,
+            hist_ratio: 16.0,
+            iter_tol: 0.5,
+            allow_new: false,
+            require_gauges: Vec::new(),
+        }
     }
 }
 
@@ -165,6 +188,20 @@ fn diff_reports(baseline: &RunReport, fresh: &RunReport, t: &Thresholds) -> Vec<
         }
     }
 
+    // Required gauges: presence-and-positivity check on the fresh
+    // report, independent of the noisy exemption (which only waives
+    // magnitude comparison, not existence demands made explicitly).
+    for name in &t.require_gauges {
+        match fresh.gauges.get(name) {
+            None => violations.push(format!("required gauge {name}: missing from fresh report")),
+            Some(g) if g.high_water <= 0.0 => violations.push(format!(
+                "required gauge {name}: high-water {} is not positive",
+                g.high_water
+            )),
+            Some(_) => {}
+        }
+    }
+
     // Convergence series: iteration counts within tolerance (an empty
     // series on one side only is structural breakage).
     let (na, nb) = (baseline.iterations.len(), fresh.iterations.len());
@@ -218,7 +255,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: report-diff <baseline.json> <fresh.json> \
          [--counter-tol R] [--gauge-tol R] [--hist-ratio R] [--iter-tol R] \
-         [--allow-new-sections]\n\
+         [--allow-new-sections] [--require-gauge NAME]...\n\
          \x20      report-diff --self <report.json>\n\
          \x20      report-diff --validate-trace <trace.json>"
     );
@@ -244,6 +281,13 @@ fn main() -> ExitCode {
             "--validate-trace" => match take(&mut i) {
                 Some(p) => trace_path = Some(p),
                 None => return usage(),
+            },
+            "--require-gauge" => match take(&mut i) {
+                Some(name) => t.require_gauges.push(name),
+                None => {
+                    eprintln!("report-diff: --require-gauge needs a gauge name");
+                    return usage();
+                }
             },
             "--counter-tol" | "--gauge-tol" | "--hist-ratio" | "--iter-tol" => {
                 let flag = args[i].clone();
@@ -415,6 +459,47 @@ mod tests {
         // the fresh report is a regression even in bootstrap mode.
         let v = diff_reports(&b, &a, &bootstrap);
         assert!(v.iter().any(|m| m.contains("only one report")), "{v:?}");
+    }
+
+    #[test]
+    fn required_gauge_missing_or_zero_is_a_violation() {
+        let a = report_with(1_000_000, 30);
+        let mut b = report_with(1_000_000, 30);
+        let t =
+            Thresholds { require_gauges: vec!["comm.overlap_ratio".into()], ..Default::default() };
+        // Missing entirely: violation (even though the gauge is in the
+        // noisy list — the exemption waives magnitude gating only).
+        let v = diff_reports(&a, &b, &t);
+        assert!(v.iter().any(|m| m.contains("missing from fresh report")), "{v:?}");
+        // Present but never positive: still a violation.
+        b.gauges.insert(
+            "comm.overlap_ratio".into(),
+            antmoc::telemetry::GaugeStats { last: 0.0, high_water: 0.0 },
+        );
+        let v = diff_reports(&a, &b, &t);
+        assert!(v.iter().any(|m| m.contains("not positive")), "{v:?}");
+        // Positive high-water: satisfied.
+        b.gauges.insert(
+            "comm.overlap_ratio".into(),
+            antmoc::telemetry::GaugeStats { last: 0.5, high_water: 1.0 },
+        );
+        assert!(diff_reports(&a, &b, &t).is_empty());
+    }
+
+    #[test]
+    fn required_gauge_checks_the_fresh_side_only() {
+        // A baseline that carries the gauge does not satisfy the
+        // requirement on behalf of a fresh report that lost it.
+        let mut a = report_with(1_000_000, 30);
+        let b = report_with(1_000_000, 30);
+        a.gauges.insert(
+            "comm.overlap_ratio".into(),
+            antmoc::telemetry::GaugeStats { last: 1.0, high_water: 1.0 },
+        );
+        let t =
+            Thresholds { require_gauges: vec!["comm.overlap_ratio".into()], ..Default::default() };
+        let v = diff_reports(&a, &b, &t);
+        assert!(v.iter().any(|m| m.contains("missing from fresh report")), "{v:?}");
     }
 
     #[test]

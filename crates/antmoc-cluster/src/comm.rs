@@ -1,9 +1,9 @@
 //! Rank communicators and the thread-backed cluster harness.
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -15,6 +15,43 @@ use crate::traffic::{Traffic, TrafficCounters};
 /// always a bug, not load.
 const RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// Tags at or above this are collectives (allreduce / allgather /
+/// broadcast). They are exempt from the [`LinkModel`]: their payloads are
+/// control-plane scalars next to the boundary-flux banks, and keeping
+/// them instant preserves the collectives' barrier-like timing that the
+/// overlap measurements lean on.
+const COLLECTIVE_TAG_MIN: u32 = u32::MAX - 3;
+
+/// A deterministic interconnect model: each message becomes visible to
+/// its receiver only after `latency + bytes * ns_per_byte` of simulated
+/// transfer time. Transfers over a fixed (sender, destination) link are
+/// serialised, so visibility order matches send order and MPI's
+/// non-overtaking guarantee still holds.
+///
+/// The in-process channels deliver instantly, which makes the exchange
+/// phases of a cluster solve look free; a link model restores the wire
+/// time the paper's Eq. 7 traffic model budgets for, which is what makes
+/// comm/compute overlap measurable (and worth doing) in the benches.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkModel {
+    /// Fixed per-message latency.
+    pub latency: Duration,
+    /// Serialisation cost per payload byte, in nanoseconds.
+    pub ns_per_byte: f64,
+}
+
+impl LinkModel {
+    /// True for the default model: instant delivery, no simulated wire.
+    pub fn is_zero(&self) -> bool {
+        self.latency.is_zero() && self.ns_per_byte == 0.0
+    }
+
+    /// Transfer time for a message of `bytes` payload bytes.
+    fn transfer(&self, bytes: u64) -> Duration {
+        self.latency + Duration::from_nanos((bytes as f64 * self.ns_per_byte) as u64)
+    }
+}
+
 /// A blocking receive gave up waiting: no message with the requested tag
 /// arrived from `from` within the deadline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,11 +62,20 @@ pub struct RecvTimeout {
     pub tag: u32,
 }
 
-/// An in-flight message: tag, payload, accounted size.
+/// An in-flight message: tag, payload, accounted size, and (under a
+/// [`LinkModel`]) the instant its simulated transfer completes.
 struct Message {
     tag: u32,
     bytes: u64,
+    /// `None` means delivered instantly (no link model in effect).
+    ready_at: Option<Instant>,
     payload: Box<dyn Any + Send>,
+}
+
+impl Message {
+    fn in_flight(&self) -> bool {
+        self.ready_at.is_some_and(|r| r > Instant::now())
+    }
 }
 
 /// The per-rank communicator handed to cluster closures. Semantics follow
@@ -43,8 +89,19 @@ pub struct Comm {
     senders: Vec<Sender<Message>>,
     /// `receivers[from]` yields messages sent by rank `from`.
     receivers: Vec<Receiver<Message>>,
-    /// Out-of-order messages waiting for a matching tag, per source.
-    pending: Vec<VecDeque<Message>>,
+    /// Out-of-order messages waiting for a matching tag, indexed by tag
+    /// per source. FIFO within a tag preserves non-overtaking order; the
+    /// index keeps a deep mismatched-tag backlog from making every poll
+    /// rescan it (the receive cost stays O(1) in the backlog depth).
+    pending: Vec<HashMap<u32, VecDeque<Message>>>,
+    /// At most one message per source pulled off the channel whose
+    /// simulated transfer has not completed yet. The link is serial, so
+    /// it also gates everything behind it from the same source.
+    stalled: Vec<Option<Message>>,
+    link: LinkModel,
+    /// Per-destination completion time of this rank's last outgoing
+    /// transfer; the next send on the same link starts after it.
+    link_busy: Vec<Option<Instant>>,
     barrier: Arc<Barrier>,
     counters: Arc<Vec<TrafficCounters>>,
 }
@@ -61,22 +118,37 @@ impl Comm {
     }
 
     /// Sends a value to `to` under `tag`, accounting `bytes` of traffic.
-    pub fn send_with_bytes<T: Send + 'static>(&self, to: usize, tag: u32, value: T, bytes: u64) {
+    pub fn send_with_bytes<T: Send + 'static>(
+        &mut self,
+        to: usize,
+        tag: u32,
+        value: T,
+        bytes: u64,
+    ) {
         assert!(to < self.size, "send to rank {to} of {}", self.size);
         self.counters[self.rank].record_send(bytes);
+        let ready_at = if self.link.is_zero() || tag >= COLLECTIVE_TAG_MIN {
+            None
+        } else {
+            let now = Instant::now();
+            let start = self.link_busy[to].map_or(now, |busy| busy.max(now));
+            let ready = start + self.link.transfer(bytes);
+            self.link_busy[to] = Some(ready);
+            Some(ready)
+        };
         self.senders[to]
-            .send(Message { tag, bytes, payload: Box::new(value) })
+            .send(Message { tag, bytes, ready_at, payload: Box::new(value) })
             .expect("receiver hung up");
     }
 
     /// Sends a `Copy` scalar (accounted at its in-memory size).
-    pub fn send_val<T: Copy + Send + 'static>(&self, to: usize, tag: u32, value: T) {
+    pub fn send_val<T: Copy + Send + 'static>(&mut self, to: usize, tag: u32, value: T) {
         self.send_with_bytes(to, tag, value, std::mem::size_of::<T>() as u64);
     }
 
     /// Sends a vector (accounted at its element payload size — what MPI
     /// would put on the wire).
-    pub fn send_vec<T: Send + 'static>(&self, to: usize, tag: u32, value: Vec<T>) {
+    pub fn send_vec<T: Send + 'static>(&mut self, to: usize, tag: u32, value: Vec<T>) {
         let bytes = (value.len() * std::mem::size_of::<T>()) as u64;
         self.send_with_bytes(to, tag, value, bytes);
     }
@@ -89,6 +161,48 @@ impl Comm {
         })
     }
 
+    /// Moves every already-arrived channel message from `from` into the
+    /// tag-indexed reorder buffer. A message whose simulated transfer is
+    /// still in flight parks in `stalled` and stops the drain there: the
+    /// link delivers serially, so nothing behind it can be visible yet.
+    fn poll_source(&mut self, from: usize) {
+        if let Some(msg) = self.stalled[from].take() {
+            if msg.in_flight() {
+                self.stalled[from] = Some(msg);
+                return;
+            }
+            self.pending[from].entry(msg.tag).or_default().push_back(msg);
+        }
+        while let Ok(msg) = self.receivers[from].try_recv() {
+            if msg.in_flight() {
+                self.stalled[from] = Some(msg);
+                return;
+            }
+            self.pending[from].entry(msg.tag).or_default().push_back(msg);
+        }
+    }
+
+    /// Pops the oldest buffered message from `from` matching `tag`.
+    fn take_pending(&mut self, from: usize, tag: u32) -> Option<Message> {
+        let queue = self.pending[from].get_mut(&tag)?;
+        let msg = queue.pop_front();
+        if queue.is_empty() {
+            self.pending[from].remove(&tag);
+        }
+        msg
+    }
+
+    /// Nonblocking receive: the next message from `from` with `tag` if
+    /// one has already arrived (and, under a [`LinkModel`], finished its
+    /// simulated transfer), else `None`. Never waits and records no
+    /// `comm.recv_wait_ns` — this is the polling half of the pipelined
+    /// exchange; only true waits in the blocking receives accrue time.
+    pub fn try_recv<T: 'static>(&mut self, from: usize, tag: u32) -> Option<T> {
+        assert!(from < self.size, "recv from rank {from} of {}", self.size);
+        self.poll_source(from);
+        self.take_pending(from, tag).map(|msg| self.unpack(msg))
+    }
+
     /// Blocking receive with an explicit timeout. Fault-tolerant callers
     /// (the `FaultyComm` decorator) surface the timeout as a typed error
     /// instead of the deadlock panic of [`Comm::recv`].
@@ -99,29 +213,51 @@ impl Comm {
         timeout: Duration,
     ) -> Result<T, RecvTimeout> {
         assert!(from < self.size, "recv from rank {from} of {}", self.size);
-        // Check the reorder buffer first (an already-delivered message
-        // costs no wait, so it records nothing).
-        if let Some(pos) = self.pending[from].iter().position(|m| m.tag == tag) {
-            let msg = self.pending[from].remove(pos).unwrap();
+        // Fast path: an already-delivered message costs no wait, so it
+        // records nothing. `comm.recv_wait_ns` accrues on true waits only.
+        self.poll_source(from);
+        if let Some(msg) = self.take_pending(from, tag) {
             return Ok(self.unpack(msg));
         }
-        let t_wait = std::time::Instant::now();
+        let t_wait = Instant::now();
         let deadline = t_wait + timeout;
-        let record_wait = |t0: std::time::Instant| {
+        // Collective waits are barrier skew, not point-to-point receive
+        // stall; they go in their own histogram so `comm.recv_wait_ns`
+        // cleanly measures what the pipelined exchange can actually hide.
+        let hist =
+            if tag >= COLLECTIVE_TAG_MIN { "comm.collective_wait_ns" } else { "comm.recv_wait_ns" };
+        let record_wait = |t0: Instant| {
             antmoc_telemetry::Telemetry::global()
-                .histogram_record("comm.recv_wait_ns", t0.elapsed().as_nanos() as u64);
+                .histogram_record(hist, t0.elapsed().as_nanos() as u64);
         };
         loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            let Ok(msg) = self.receivers[from].recv_timeout(remaining) else {
-                record_wait(t_wait);
-                return Err(RecvTimeout { from, tag });
-            };
-            if msg.tag == tag {
+            if let Some(ready_at) = self.stalled[from].as_ref().and_then(|m| m.ready_at) {
+                // A transfer is in flight; its completion is the earliest
+                // anything from this source can become visible.
+                let wake = ready_at.min(deadline);
+                std::thread::sleep(wake.saturating_duration_since(Instant::now()));
+            } else {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match self.receivers[from].recv_timeout(remaining) {
+                    Ok(msg) if msg.in_flight() => self.stalled[from] = Some(msg),
+                    Ok(msg) => {
+                        self.pending[from].entry(msg.tag).or_default().push_back(msg);
+                    }
+                    Err(_) => {
+                        record_wait(t_wait);
+                        return Err(RecvTimeout { from, tag });
+                    }
+                }
+            }
+            self.poll_source(from);
+            if let Some(msg) = self.take_pending(from, tag) {
                 record_wait(t_wait);
                 return Ok(self.unpack(msg));
             }
-            self.pending[from].push_back(msg);
+            if Instant::now() >= deadline {
+                record_wait(t_wait);
+                return Err(RecvTimeout { from, tag });
+            }
         }
     }
 
@@ -244,6 +380,18 @@ impl Cluster {
         T: Send,
         F: Fn(Comm) -> T + Sync,
     {
+        Self::run_linked(n, LinkModel::default(), f)
+    }
+
+    /// Like [`Cluster::run`], but every point-to-point message pays the
+    /// simulated transfer time of `link` before becoming receivable.
+    /// Collectives are unaffected (their payloads are control-plane
+    /// scalars next to the boundary-flux banks).
+    pub fn run_linked<T, F>(n: usize, link: LinkModel, f: F) -> ClusterOutcome<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
         assert!(n >= 1, "cluster needs at least one rank");
         // Build the n x n channel fabric.
         let mut senders_matrix: Vec<Vec<Sender<Message>>> = (0..n).map(|_| Vec::new()).collect();
@@ -269,7 +417,10 @@ impl Cluster {
                 size: n,
                 senders,
                 receivers,
-                pending: (0..n).map(|_| VecDeque::new()).collect(),
+                pending: (0..n).map(|_| HashMap::new()).collect(),
+                stalled: (0..n).map(|_| None).collect(),
+                link,
+                link_busy: (0..n).map(|_| None).collect(),
                 barrier: barrier.clone(),
                 counters: counters.clone(),
             })
@@ -486,6 +637,114 @@ mod tests {
             assert_eq!(l, n);
             assert_eq!(v, 6.0);
         }
+    }
+
+    #[test]
+    fn deep_mismatched_tag_backlog_is_not_quadratic() {
+        // A tag-2 receive posted against a K-deep backlog of tag-1
+        // messages buffers the backlog once; draining it afterwards is
+        // one O(1) pop per message thanks to the tag index. The old
+        // linear rescan per receive made this pattern O(K^2) — minutes
+        // instead of the sub-second it takes now.
+        const K: u64 = 50_000;
+        let o = Cluster::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                for i in 0..K {
+                    comm.send_val(1, 1, i);
+                }
+                comm.send_val(1, 2, u64::MAX);
+                0.0
+            } else {
+                let t0 = Instant::now();
+                let sentinel: u64 = comm.recv_val(0, 2);
+                assert_eq!(sentinel, u64::MAX);
+                for i in 0..K {
+                    let v: u64 = comm.recv_val(0, 1);
+                    assert_eq!(v, i);
+                }
+                t0.elapsed().as_secs_f64()
+            }
+        });
+        assert!(
+            o.results[1] < 5.0,
+            "draining a {K}-deep mismatched-tag backlog took {:.2}s — tag matching went quadratic",
+            o.results[1]
+        );
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        let o = Cluster::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.barrier(); // let rank 1 poll before anything is sent
+                comm.send_val(1, 7, 123u32);
+                comm.barrier(); // the channel send is synchronous, so after
+                0 // this barrier the message is receivable
+            } else {
+                assert_eq!(comm.try_recv::<u32>(0, 7), None);
+                comm.barrier();
+                comm.barrier();
+                assert_eq!(comm.try_recv::<u32>(0, 9), None, "wrong tag must not match");
+                let v = comm.try_recv::<u32>(0, 7).expect("message was sent before the barrier");
+                // The mismatched poll above buffered nothing destructive:
+                // a later tagged send still arrives in order.
+                v as usize
+            }
+        });
+        assert_eq!(o.results[1], 123);
+    }
+
+    #[test]
+    fn link_model_delays_delivery_until_transfer_completes() {
+        let link = LinkModel { latency: Duration::from_millis(250), ns_per_byte: 0.0 };
+        let o = Cluster::run_linked(2, link, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send_val(1, 3, 9u32);
+                comm.barrier();
+                0.0
+            } else {
+                comm.barrier(); // message is in the channel, transfer in flight
+                assert_eq!(
+                    comm.try_recv::<u32>(0, 3),
+                    None,
+                    "try_recv must not see a message whose transfer is still in flight"
+                );
+                let t0 = Instant::now();
+                let v: u32 = comm.recv_val(0, 3);
+                assert_eq!(v, 9);
+                t0.elapsed().as_secs_f64()
+            }
+        });
+        assert!(
+            o.results[1] >= 0.05,
+            "blocking recv returned after {:.3}s — before the simulated transfer finished",
+            o.results[1]
+        );
+    }
+
+    #[test]
+    fn link_serialises_transfers_per_destination() {
+        // Two back-to-back sends over the same link: the second becomes
+        // visible only after both transfer times, not just its own.
+        let link = LinkModel { latency: Duration::from_millis(120), ns_per_byte: 0.0 };
+        let o = Cluster::run_linked(2, link, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send_val(1, 1, 1u32);
+                comm.send_val(1, 1, 2u32);
+                0.0
+            } else {
+                let t0 = Instant::now();
+                let a: u32 = comm.recv_val(0, 1);
+                let b: u32 = comm.recv_val(0, 1);
+                assert_eq!((a, b), (1, 2));
+                t0.elapsed().as_secs_f64()
+            }
+        });
+        assert!(
+            o.results[1] >= 0.2,
+            "second transfer finished after {:.3}s — links must serialise, not overlap",
+            o.results[1]
+        );
     }
 
     #[test]

@@ -342,6 +342,15 @@ impl FaultyComm {
         self.recv::<Vec<T>>(from, tag)
     }
 
+    /// Nonblocking receive poll — the overlap half of the pipelined
+    /// exchange. Faults are injected on the send side (`admit`), so a
+    /// poll simply asks the inner communicator; a dropped transmission
+    /// shows up as the poll staying `None` until the sender's retry lands
+    /// (or the eventual blocking receive times out).
+    pub fn try_recv_vec<T: 'static>(&mut self, from: usize, tag: u32) -> Option<Vec<T>> {
+        self.inner.try_recv::<Vec<T>>(from, tag)
+    }
+
     /// Receive helper for `Copy` scalars.
     pub fn recv_val<T: Copy + 'static>(&mut self, from: usize, tag: u32) -> Result<T, CommError> {
         self.recv::<T>(from, tag)
@@ -500,6 +509,32 @@ mod tests {
             o.results[0],
             Some(CommError::SendExhausted { rank: 0, to: 1, tag: 5, attempts: 1 })
         );
+        assert!(matches!(o.results[1], Some(CommError::Timeout { from: 0, tag: 5, .. })));
+    }
+
+    #[test]
+    fn pipelined_poll_on_a_silent_peer_times_out_instead_of_hanging() {
+        // The pipelined exchange pattern against a dead sender: polls
+        // come back empty (never block), and the fallback blocking
+        // receive surfaces the typed timeout within the plan's deadline.
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            max_retries: 0,
+            recv_timeout: Duration::from_millis(250),
+            ..lossy_config(1.0)
+        }));
+        let o = Cluster::run(2, |comm| {
+            let mut fc = FaultyComm::new(comm, plan.clone());
+            if fc.rank() == 0 {
+                let _ = fc.send_vec(1, 5, vec![1.0f32; 4]); // dropped, retries exhausted
+                None
+            } else {
+                assert_eq!(fc.try_recv_vec::<f32>(0, 5), None);
+                let t0 = std::time::Instant::now();
+                let err = fc.recv_vec::<f32>(0, 5).unwrap_err();
+                assert!(t0.elapsed() < Duration::from_secs(5), "recv hung past the deadline");
+                Some(err)
+            }
+        });
         assert!(matches!(o.results[1], Some(CommError::Timeout { from: 0, tag: 5, .. })));
     }
 

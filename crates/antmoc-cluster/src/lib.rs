@@ -27,7 +27,7 @@ pub mod comm;
 pub mod fault;
 pub mod traffic;
 
-pub use comm::{Cluster, ClusterOutcome, Comm, RecvTimeout};
+pub use comm::{Cluster, ClusterOutcome, Comm, LinkModel, RecvTimeout};
 pub use fault::{CommError, FaultConfig, FaultPlan, FaultyComm, RankDeath};
 pub use traffic::Traffic;
 

@@ -2,19 +2,40 @@
 //! cluster, Jacobi-style boundary-flux exchange each outer iteration
 //! (§3.1 step 4 of the paper), global reductions for `k_eff` and
 //! residuals.
+//!
+//! Two exchange modes ship the boundary fluxes
+//! ([`ExchangeMode`], the `[decomposition] exchange` config knob):
+//!
+//! * **Sync** — the original strictly phased order: sweep, reduce,
+//!   normalise, gather the scaled boundary exits, ship, swap, blocking
+//!   receive. Every receive eats the full wire time of its payload.
+//! * **Pipelined** — boundary exits ship *unnormalised* as soon as they
+//!   are final (mid-sweep on the serial backend via a boundary-track
+//!   prepass; right after the sweep elsewhere), so transfers are in
+//!   flight while interior tracks sweep and the `k_eff`/residual
+//!   collectives run. Receives poll first ([`Comm::try_recv`]) and only
+//!   block on payloads still in flight; the receiver folds the deferred
+//!   normalisation into its delivery weights (`(x as f64 * inv) as f32 *
+//!   w` — the same op sequence the sync path applies, just split across
+//!   the wire), which keeps the two modes bitwise identical on the
+//!   serial backend.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use antmoc_cluster::{Cluster, Comm, Traffic};
+use antmoc_cluster::{Cluster, Comm, LinkModel, Traffic};
 use antmoc_gpusim::{Device, DeviceSpec};
+use antmoc_telemetry::{Json, Telemetry};
 
 use crate::decomp::Decomposition;
 use crate::device::{CuMapping, DeviceSolver};
 use crate::eigen::CpuSweeper;
 use crate::eigen::{EigenOptions, Sweeper};
 use crate::problem::Problem;
+use crate::schedule::{ScheduleKind, SweepSchedule};
 use crate::source::{compute_reduced_source, fission_production, update_scalar_flux};
 use crate::sweep::{FluxBanks, SegmentSource, StorageMode};
+use crate::tally::KernelConfig;
 
 /// Per-rank execution backend.
 #[derive(Debug, Clone)]
@@ -51,19 +72,61 @@ const TAG_FLUX: u32 = 100;
 /// A traversal slot `(track, dir)` paired with its delivery weight.
 type WeightedSlot = ((u32, u8), f32);
 
+/// How ranks ship boundary fluxes each outer iteration (see the module
+/// docs for the two pipelines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeMode {
+    /// Strictly phased gather → ship → swap → blocking receive.
+    #[default]
+    Sync,
+    /// Early raw sends overlapped with the interior sweep and the
+    /// collectives; polling receives.
+    Pipelined,
+}
+
+/// Cluster-level execution options beyond the eigenvalue controls.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterOptions {
+    /// Boundary-exchange pipeline.
+    pub exchange: ExchangeMode,
+    /// Simulated interconnect for point-to-point flux traffic.
+    pub link: LinkModel,
+    /// Dispatch order for the `Cpu` backend's sweeps
+    /// ([`ScheduleKind::BoundaryFirst`] resolves against the rank's
+    /// exchange plan). The serial backend always sweeps in natural order
+    /// — that fixed order is what makes sync and pipelined bitwise
+    /// comparable — and the device backend orders via its CU mapping.
+    pub schedule: ScheduleKind,
+    /// Worker threads per rank for the `Cpu` backend (`None` shares the
+    /// global pool).
+    pub workers: Option<usize>,
+    /// Tally/exp kernel configuration for the `Cpu` backend.
+    pub kernel: KernelConfig,
+}
+
 /// Runs the decomposed eigenvalue problem, one thread-rank per subdomain.
 pub fn solve_cluster(
     decomp: &Decomposition,
     backend: &Backend,
     opts: &EigenOptions,
 ) -> ClusterResult {
+    solve_cluster_with(decomp, backend, opts, &ClusterOptions::default())
+}
+
+/// [`solve_cluster`] with explicit exchange/link/schedule options.
+pub fn solve_cluster_with(
+    decomp: &Decomposition,
+    backend: &Backend,
+    opts: &EigenOptions,
+    copts: &ClusterOptions,
+) -> ClusterResult {
     let n = decomp.problems.len();
 
-    let outcome = Cluster::run(n, |mut comm: Comm| {
+    let outcome = Cluster::run_linked(n, copts.link, |mut comm: Comm| {
         let rank = comm.rank();
         let problem = &decomp.problems[rank];
         let plan = &decomp.exchanges[rank];
-        run_rank(problem, plan, decomp, &mut comm, backend, opts)
+        run_rank(problem, plan, decomp, &mut comm, backend, opts, copts)
     });
 
     let mut phi = Vec::with_capacity(n);
@@ -140,6 +203,85 @@ struct RankResult {
     residuals: Vec<f64>,
 }
 
+/// Gathers the captured boundary exits for one neighbour's send group
+/// into a wire payload, in plan order.
+pub(crate) fn gather_boundary(banks: &FluxBanks, items: &[(u32, u8)], g: usize) -> Vec<f32> {
+    let mut payload = Vec::with_capacity(items.len() * g);
+    let mut buf = vec![0.0f32; g];
+    for &(t, dir) in items {
+        banks.get_boundary(t, dir as usize, &mut buf);
+        payload.extend_from_slice(&buf);
+    }
+    payload
+}
+
+/// The serial backend's pipelined sweep. Identical arithmetic — and
+/// bitwise-identical tallies, leakage and banks — to [`SerialSweeper`]:
+/// the full natural-order pass at the end IS that sweep. Before it, a
+/// prepass sweeps just the boundary-touching tracks and ships each
+/// neighbour's payload the moment its last contributing track completes,
+/// so the transfers ride under the whole interior sweep. The prepass is
+/// safe to discard: boundary/outgoing bank writes are idempotent stores
+/// recomputed identically by the main pass (they read only the incoming
+/// bank, which no sweep mutates), and its flux tallies go to a sink.
+/// Re-sweeping the boundary tracks is the price of the overlap window —
+/// a few percent of serial work for a wire-time-sized saving.
+#[allow(clippy::too_many_arguments)]
+fn sweep_serial_pipelined(
+    problem: &Problem,
+    segsrc: &SegmentSource,
+    q: &[f64],
+    banks: &FluxBanks,
+    sends_per_rank: &[(usize, Vec<(u32, u8)>)],
+    boundary_tracks: &[u32],
+    ready_point: &[u32],
+    comm: &mut Comm,
+) -> crate::sweep::SweepOutcome {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let tel = Telemetry::global();
+    let g = problem.num_groups();
+    let nf = problem.num_fsrs() * g;
+    let mut scratch = Vec::new();
+    if !boundary_tracks.is_empty() {
+        let sink: Vec<AtomicU64> = (0..nf).map(|_| AtomicU64::new(0)).collect();
+        let mut shipped = vec![false; sends_per_rank.len()];
+        for &t in boundary_tracks {
+            let _ =
+                crate::sweep::sweep_one_track(problem, segsrc, q, &sink, banks, t, &mut scratch);
+            for (gi, (nb, items)) in sends_per_rank.iter().enumerate() {
+                if !shipped[gi] && ready_point[gi] <= t {
+                    shipped[gi] = true;
+                    let t_send = Instant::now();
+                    let payload = gather_boundary(banks, items, g);
+                    comm.send_vec(*nb, TAG_FLUX, payload);
+                    if tel.trace_enabled() {
+                        tel.trace_complete_since(
+                            "comm.exchange_send",
+                            t_send,
+                            &[("to", Json::Uint(*nb as u64))],
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let phi_acc: Vec<AtomicU64> = (0..nf).map(|_| AtomicU64::new(0)).collect();
+    let mut segments = 0u64;
+    let mut leakage = 0.0f64;
+    for t in 0..problem.num_tracks() as u32 {
+        let (s, l) =
+            crate::sweep::sweep_one_track(problem, segsrc, q, &phi_acc, banks, t, &mut scratch);
+        segments += s;
+        leakage += l;
+    }
+    crate::sweep::SweepOutcome {
+        phi_acc: phi_acc.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))).collect(),
+        leakage,
+        segments,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_rank(
     problem: &Problem,
     plan: &crate::decomp::RankExchange,
@@ -147,6 +289,7 @@ fn run_rank(
     comm: &mut Comm,
     backend: &Backend,
     opts: &EigenOptions,
+    copts: &ClusterOptions,
 ) -> RankResult {
     let g = problem.num_groups();
     let n = problem.num_fsrs() * g;
@@ -183,20 +326,44 @@ fn run_rank(
             _ => sends_per_rank.push((nb, vec![s.local_traversal])),
         }
     }
+    let pipelined = copts.exchange == ExchangeMode::Pipelined;
+    // Boundary-touching tracks (union of all send groups), ascending, and
+    // each group's "ready point" — its highest track index. A
+    // track-ordered sweep that has passed the ready point has finalised
+    // every exit in the group, so the payload can ship.
+    let boundary_tracks: Vec<u32> = {
+        let mut v: Vec<u32> = plan.sends.iter().map(|s| s.local_traversal.0).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let ready_point: Vec<u32> = sends_per_rank
+        .iter()
+        .map(|(_, items)| items.iter().map(|&(t, _)| t).max().unwrap_or(0))
+        .collect();
 
     // Backend sweeper.
-    let segsrc_otf;
+    let workers = copts.workers.unwrap_or_else(rayon::current_num_threads);
+    let pool = copts.workers.map(|w| {
+        rayon::ThreadPoolBuilder::new().num_threads(w).build().expect("cluster worker pool")
+    });
+    let segsrc_otf = SegmentSource::otf();
     let mut cpu_sweeper;
     let mut serial_sweeper;
     let mut device_solver;
+    let serial_pipelined = pipelined && matches!(backend, Backend::CpuSerial);
     let sweeper: &mut dyn Sweeper = match backend {
         Backend::Cpu => {
-            segsrc_otf = SegmentSource::otf();
-            cpu_sweeper = CpuSweeper::new(&segsrc_otf);
+            let schedule = match copts.schedule {
+                ScheduleKind::BoundaryFirst => {
+                    SweepSchedule::boundary_first(problem, &boundary_tracks, workers)
+                }
+                kind => SweepSchedule::with_workers(kind, problem, workers),
+            };
+            cpu_sweeper = CpuSweeper::with_kernel(&segsrc_otf, schedule, copts.kernel.clone());
             &mut cpu_sweeper
         }
         Backend::CpuSerial => {
-            segsrc_otf = SegmentSource::otf();
             serial_sweeper = SerialSweeper { segsrc: &segsrc_otf };
             &mut serial_sweeper
         }
@@ -218,18 +385,61 @@ fn run_rank(
     }
     let (mut old_density, _) = fission_production(problem, &phi);
 
+    let tel = Telemetry::global();
     let mut sweep_seconds = 0.0f64;
     let mut residuals = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
     let mut scratch32: Vec<f32> = Vec::new();
+    let (mut recv_ready, mut recv_blocked) = (0u64, 0u64);
 
     for it in 1..=opts.max_iterations {
         iterations = it;
         compute_reduced_source(problem, &phi, k, &mut q);
-        let t0 = std::time::Instant::now();
-        let out = sweeper.sweep(problem, &q, &banks);
+        let t0 = Instant::now();
+        let out = if serial_pipelined {
+            sweep_serial_pipelined(
+                problem,
+                &segsrc_otf,
+                &q,
+                &banks,
+                &sends_per_rank,
+                &boundary_tracks,
+                &ready_point,
+                comm,
+            )
+        } else {
+            let mut do_sweep = || sweeper.sweep(problem, &q, &banks);
+            match &pool {
+                Some(p) => p.install(&mut do_sweep),
+                None => do_sweep(),
+            }
+        };
         sweep_seconds += t0.elapsed().as_secs_f64();
+        // On the parallel backends the pipelined sends go out right after
+        // the sweep (still ahead of the collectives, so the transfers ride
+        // under the global reductions and the slowest rank's sweep).
+        if pipelined && !serial_pipelined {
+            for (nb, items) in &sends_per_rank {
+                let t_send = Instant::now();
+                let payload = gather_boundary(&banks, items, g);
+                comm.send_vec(*nb, TAG_FLUX, payload);
+                if tel.trace_enabled() {
+                    tel.trace_complete_since(
+                        "comm.exchange_send",
+                        t_send,
+                        &[("to", Json::Uint(*nb as u64))],
+                    );
+                }
+            }
+        }
+        if tel.trace_enabled() {
+            tel.trace_complete_since(
+                "cluster.sweep",
+                t0,
+                &[("rank", Json::Uint(comm.rank() as u64)), ("it", Json::Uint(it as u64))],
+            );
+        }
         update_scalar_flux(problem, &q, &out.phi_acc, &mut phi);
         sweeper.recycle(out);
 
@@ -260,26 +470,77 @@ fn run_rank(
         banks.scale(inv);
         old_density = density.iter().map(|d| d * inv).collect();
 
-        // Exchange boundary fluxes: gather sends from the outgoing bank
-        // (which holds the captured boundary exits), ship, swap, zero
-        // vacuum entries, scatter receives.
-        for (nb, items) in &sends_per_rank {
-            let mut payload = Vec::with_capacity(items.len() * g);
-            let mut buf = vec![0.0f32; g];
-            for &(t, dir) in items {
-                banks.get_boundary(t, dir as usize, &mut buf);
-                payload.extend_from_slice(&buf);
+        if pipelined {
+            // The payloads went out raw before the collectives; apply the
+            // deferred normalisation at delivery. `(x as f64 * inv) as
+            // f32` is exactly the per-slot op `banks.scale(inv)` performs
+            // on the sync path before gathering, so the incoming slots
+            // land bit-for-bit identical — the normalisation just crossed
+            // the wire on the other side of the multiply.
+            banks.swap();
+            let t_recv = Instant::now();
+            for (from, items) in &receives_per_rank {
+                let payload: Vec<f32> = match comm.try_recv::<Vec<f32>>(*from, TAG_FLUX) {
+                    Some(p) => {
+                        recv_ready += 1;
+                        p
+                    }
+                    None => {
+                        recv_blocked += 1;
+                        comm.recv_vec(*from, TAG_FLUX)
+                    }
+                };
+                assert_eq!(payload.len(), items.len() * g);
+                for (i, &((t, dir), weight)) in items.iter().enumerate() {
+                    scratch32.clear();
+                    scratch32.extend(
+                        payload[i * g..(i + 1) * g]
+                            .iter()
+                            .map(|&x| ((x as f64 * inv) as f32) * weight),
+                    );
+                    banks.set_incoming(t, dir as usize, &scratch32);
+                }
             }
-            comm.send_vec(*nb, TAG_FLUX, payload);
-        }
-        banks.swap();
-        for (from, items) in &receives_per_rank {
-            let payload: Vec<f32> = comm.recv_vec(*from, TAG_FLUX);
-            assert_eq!(payload.len(), items.len() * g);
-            for (i, &((t, dir), weight)) in items.iter().enumerate() {
-                scratch32.clear();
-                scratch32.extend(payload[i * g..(i + 1) * g].iter().map(|&x| x * weight));
-                banks.set_incoming(t, dir as usize, &scratch32);
+            if tel.trace_enabled() && !receives_per_rank.is_empty() {
+                tel.trace_complete_since(
+                    "comm.exchange_recv",
+                    t_recv,
+                    &[("rank", Json::Uint(comm.rank() as u64)), ("it", Json::Uint(it as u64))],
+                );
+            }
+        } else {
+            // Exchange boundary fluxes: gather sends from the outgoing
+            // bank (which holds the captured boundary exits), ship, swap,
+            // zero vacuum entries, scatter receives.
+            for (nb, items) in &sends_per_rank {
+                let t_send = Instant::now();
+                let payload = gather_boundary(&banks, items, g);
+                comm.send_vec(*nb, TAG_FLUX, payload);
+                if tel.trace_enabled() {
+                    tel.trace_complete_since(
+                        "comm.exchange_send",
+                        t_send,
+                        &[("to", Json::Uint(*nb as u64))],
+                    );
+                }
+            }
+            banks.swap();
+            let t_recv = Instant::now();
+            for (from, items) in &receives_per_rank {
+                let payload: Vec<f32> = comm.recv_vec(*from, TAG_FLUX);
+                assert_eq!(payload.len(), items.len() * g);
+                for (i, &((t, dir), weight)) in items.iter().enumerate() {
+                    scratch32.clear();
+                    scratch32.extend(payload[i * g..(i + 1) * g].iter().map(|&x| x * weight));
+                    banks.set_incoming(t, dir as usize, &scratch32);
+                }
+            }
+            if tel.trace_enabled() && !receives_per_rank.is_empty() {
+                tel.trace_complete_since(
+                    "comm.exchange_recv",
+                    t_recv,
+                    &[("rank", Json::Uint(comm.rank() as u64)), ("it", Json::Uint(it as u64))],
+                );
             }
         }
 
@@ -287,6 +548,17 @@ fn run_rank(
             converged = true;
             break;
         }
+    }
+
+    if pipelined {
+        // How much of the exchange the overlap actually hid: the fraction
+        // of receives whose payload had already landed when polled.
+        let total = recv_ready + recv_blocked;
+        if total > 0 {
+            tel.gauge_set("comm.overlap_ratio", recv_ready as f64 / total as f64);
+        }
+        tel.counter_add("comm.recv_ready", recv_ready);
+        tel.counter_add("comm.recv_blocked", recv_blocked);
     }
 
     RankResult { keff: k, iterations, converged, phi, sweep_seconds, residuals }
@@ -386,6 +658,38 @@ mod tests {
         // Identical algorithm, different execution order: results agree
         // to the f32-bank / atomic-order noise floor.
         assert!((a.keff - b.keff).abs() < 1e-6, "parallel {} vs serial {}", a.keff, b.keff);
+    }
+
+    #[test]
+    fn pipelined_exchange_is_bitwise_identical_on_serial_backend() {
+        let (g, axial, lib) = global();
+        let opts = EigenOptions { tolerance: 1e-30, max_iterations: 12, ..Default::default() };
+        for spec in [DecompSpec { nx: 2, ny: 1, nz: 1 }, DecompSpec { nx: 1, ny: 1, nz: 2 }] {
+            let d = Decomposition::build(&g, &axial, &lib, params(), spec);
+            let sync = solve_cluster(&d, &Backend::CpuSerial, &opts);
+            let pipe = solve_cluster_with(
+                &d,
+                &Backend::CpuSerial,
+                &opts,
+                &ClusterOptions { exchange: ExchangeMode::Pipelined, ..Default::default() },
+            );
+            assert_eq!(
+                sync.keff.to_bits(),
+                pipe.keff.to_bits(),
+                "k diverged: sync {} vs pipelined {}",
+                sync.keff,
+                pipe.keff
+            );
+            assert_eq!(sync.iterations, pipe.iterations);
+            for (rank, (a, b)) in sync.phi.iter().zip(&pipe.phi).enumerate() {
+                assert_eq!(a, b, "rank {rank} flux diverged");
+            }
+            // Re-sweeping the boundary tracks must not change the wire
+            // volume: the same payloads ship exactly once per iteration.
+            for (rank, (a, b)) in sync.traffic.iter().zip(&pipe.traffic).enumerate() {
+                assert_eq!(a.sent_bytes, b.sent_bytes, "rank {rank} traffic diverged");
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub mod sweep;
 pub mod tally;
 
 pub use checkpoint::{BankSnapshot, CheckpointStore, SolverCheckpoint};
+pub use cluster::{
+    solve_cluster, solve_cluster_with, Backend, ClusterOptions, ClusterResult, ExchangeMode,
+};
 pub use eigen::{
     solve_eigenvalue, solve_eigenvalue_resumable, CpuSweeper, EigenOptions, EigenResult, Sweeper,
 };

@@ -30,12 +30,12 @@ use std::sync::Arc;
 
 use antmoc_balance::rebalance_on_loss;
 use antmoc_cluster::fault::{CommError, FaultConfig, FaultPlan, FaultyComm};
-use antmoc_cluster::{Cluster, Comm};
+use antmoc_cluster::{Cluster, Comm, LinkModel};
 use antmoc_gpusim::Device;
 use antmoc_telemetry::{Json, Telemetry};
 
 use crate::checkpoint::{CheckpointStore, SolverCheckpoint};
-use crate::cluster::{Backend, SerialSweeper};
+use crate::cluster::{Backend, ExchangeMode, SerialSweeper};
 use crate::decomp::Decomposition;
 use crate::device::DeviceSolver;
 use crate::eigen::{EigenOptions, Sweeper};
@@ -61,6 +61,13 @@ pub struct RecoveryOptions {
     pub max_restarts: usize,
     /// Tally/exp kernel configuration for the CPU backend.
     pub kernel: KernelConfig,
+    /// Boundary-exchange pipeline (see [`crate::cluster::ExchangeMode`]).
+    /// Pipelined receives still route every blocking wait through the
+    /// fault layer's `recv` deadline, so a dead peer surfaces a
+    /// `CommError::Timeout` exactly as on the sync path.
+    pub exchange: ExchangeMode,
+    /// Simulated interconnect for point-to-point flux traffic.
+    pub link: LinkModel,
 }
 
 impl Default for RecoveryOptions {
@@ -72,6 +79,8 @@ impl Default for RecoveryOptions {
             workers: None,
             max_restarts: 4,
             kernel: KernelConfig::default(),
+            exchange: ExchangeMode::default(),
+            link: LinkModel::default(),
         }
     }
 }
@@ -227,7 +236,8 @@ pub fn solve_cluster_recovering(
             start_iteration,
             death,
         };
-        let outcome = Cluster::run(alive.len(), |comm: Comm| run_slot(comm, &ctx));
+        let outcome =
+            Cluster::run_linked(alive.len(), ctx.rec.link, |comm: Comm| run_slot(comm, &ctx));
         comm_bytes += outcome.traffic.iter().map(|t| t.sent_bytes).sum::<u64>();
 
         let executed = outcome
@@ -617,6 +627,8 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
     let mut iterations = 0;
     let mut executed = 0usize;
     let mut scratch32: Vec<f32> = Vec::new();
+    let pipelined = ctx.rec.exchange == ExchangeMode::Pipelined;
+    let (mut recv_ready, mut recv_blocked) = (0u64, 0u64);
     // Iteration rows and trace markers come from slot 0 only: every
     // executor walks the same generation loop, and duplicate rows would
     // misreport the series.
@@ -665,6 +677,26 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
         }
         let sweep_s = t_sweep.elapsed().as_secs_f64();
 
+        // Pipelined exchange, first half: every pair payload ships *raw*
+        // (unnormalised) ahead of the collectives, so the transfers ride
+        // under the canonical sums; the receiver folds the normalisation
+        // into its delivery weights below, which reproduces the sync
+        // path's arithmetic bit for bit. Local pairs stash raw for the
+        // same deferred scaling.
+        let mut local_raw: Vec<(usize, usize, Vec<f32>)> = Vec::new();
+        if pipelined {
+            for ps in &sends {
+                let payload =
+                    crate::cluster::gather_boundary(&states[&ps.from].banks, &ps.items, g);
+                let dest = ctx.assignment[ps.to];
+                if dest == slot {
+                    local_raw.push((ps.from, ps.to, payload));
+                } else {
+                    fc.send_vec(dest as usize, pair_tag(ps.from, ps.to), payload).map_err(fail)?;
+                }
+            }
+        }
+
         // Global production ratio and residual from canonical sums.
         let mut densities: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
         let contributions: Vec<(u32, [f64; 3])> = my_subs
@@ -699,58 +731,108 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
             st.old_density = densities[&sub].iter().map(|d| d * inv).collect();
         }
 
-        // Boundary exchange: gather every pair payload from the boundary
-        // banks, ship the remote ones, swap all hosted banks, then apply
-        // local and remote deliveries.
-        let mut payloads: Vec<Vec<f32>> = Vec::with_capacity(sends.len());
-        for ps in &sends {
-            let banks = &states[&ps.from].banks;
-            let mut payload = Vec::with_capacity(ps.items.len() * g);
-            let mut buf = vec![0.0f32; g];
-            for &(t, dir) in &ps.items {
-                banks.get_boundary(t, dir as usize, &mut buf);
-                payload.extend_from_slice(&buf);
+        if pipelined {
+            // Second half: swap all hosted banks, then apply deliveries
+            // with the deferred normalisation folded in — `(x as f64 *
+            // inv) as f32` is the per-slot op `banks.scale(inv)` performs
+            // on the sync path before gathering, so the incoming slots
+            // land bitwise identical. Remote receives poll first; only a
+            // payload still in flight blocks (through the fault layer's
+            // deadline, so a dead peer surfaces `CommError::Timeout`).
+            for st in states.values_mut() {
+                st.banks.swap();
             }
-            payloads.push(payload);
-        }
-        let mut local: Vec<(usize, usize, Vec<f32>)> = Vec::new();
-        for (ps, payload) in sends.iter().zip(payloads) {
-            let dest = ctx.assignment[ps.to];
-            if dest == slot {
-                local.push((ps.from, ps.to, payload));
-            } else {
-                fc.send_vec(dest as usize, pair_tag(ps.from, ps.to), payload).map_err(fail)?;
+            let apply_raw = |banks: &FluxBanks,
+                             items: &[WeightedSlot],
+                             payload: &[f32],
+                             scratch32: &mut Vec<f32>| {
+                assert_eq!(payload.len(), items.len() * g);
+                for (i, &((t, dir), weight)) in items.iter().enumerate() {
+                    scratch32.clear();
+                    scratch32.extend(
+                        payload[i * g..(i + 1) * g]
+                            .iter()
+                            .map(|&x| ((x as f64 * inv) as f32) * weight),
+                    );
+                    banks.set_incoming(t, dir as usize, scratch32);
+                }
+            };
+            for (from, to, payload) in &local_raw {
+                let pr = recvs
+                    .iter()
+                    .find(|pr| pr.from == *from && pr.to == *to)
+                    .expect("local delivery must have a matching receive plan");
+                apply_raw(&states[to].banks, &pr.items, payload, &mut scratch32);
             }
-        }
-        for st in states.values_mut() {
-            st.banks.swap();
-        }
-        let apply = |banks: &FluxBanks,
-                     items: &[WeightedSlot],
-                     payload: &[f32],
-                     scratch32: &mut Vec<f32>| {
-            assert_eq!(payload.len(), items.len() * g);
-            for (i, &((t, dir), weight)) in items.iter().enumerate() {
-                scratch32.clear();
-                scratch32.extend(payload[i * g..(i + 1) * g].iter().map(|&x| x * weight));
-                banks.set_incoming(t, dir as usize, scratch32);
+            for pr in &recvs {
+                let src = ctx.assignment[pr.from];
+                if src == slot {
+                    continue;
+                }
+                let tag = pair_tag(pr.from, pr.to);
+                let payload: Vec<f32> = match fc.try_recv_vec::<f32>(src as usize, tag) {
+                    Some(p) => {
+                        recv_ready += 1;
+                        p
+                    }
+                    None => {
+                        recv_blocked += 1;
+                        fc.recv_vec(src as usize, tag).map_err(fail)?
+                    }
+                };
+                apply_raw(&states[&pr.to].banks, &pr.items, &payload, &mut scratch32);
             }
-        };
-        for (from, to, payload) in &local {
-            let pr = recvs
-                .iter()
-                .find(|pr| pr.from == *from && pr.to == *to)
-                .expect("local delivery must have a matching receive plan");
-            apply(&states[to].banks, &pr.items, payload, &mut scratch32);
-        }
-        for pr in &recvs {
-            let src = ctx.assignment[pr.from];
-            if src == slot {
-                continue;
+        } else {
+            // Boundary exchange: gather every pair payload from the
+            // boundary banks, ship the remote ones, swap all hosted
+            // banks, then apply local and remote deliveries.
+            let mut payloads: Vec<Vec<f32>> = Vec::with_capacity(sends.len());
+            for ps in &sends {
+                payloads.push(crate::cluster::gather_boundary(
+                    &states[&ps.from].banks,
+                    &ps.items,
+                    g,
+                ));
             }
-            let payload: Vec<f32> =
-                fc.recv_vec(src as usize, pair_tag(pr.from, pr.to)).map_err(fail)?;
-            apply(&states[&pr.to].banks, &pr.items, &payload, &mut scratch32);
+            let mut local: Vec<(usize, usize, Vec<f32>)> = Vec::new();
+            for (ps, payload) in sends.iter().zip(payloads) {
+                let dest = ctx.assignment[ps.to];
+                if dest == slot {
+                    local.push((ps.from, ps.to, payload));
+                } else {
+                    fc.send_vec(dest as usize, pair_tag(ps.from, ps.to), payload).map_err(fail)?;
+                }
+            }
+            for st in states.values_mut() {
+                st.banks.swap();
+            }
+            let apply = |banks: &FluxBanks,
+                         items: &[WeightedSlot],
+                         payload: &[f32],
+                         scratch32: &mut Vec<f32>| {
+                assert_eq!(payload.len(), items.len() * g);
+                for (i, &((t, dir), weight)) in items.iter().enumerate() {
+                    scratch32.clear();
+                    scratch32.extend(payload[i * g..(i + 1) * g].iter().map(|&x| x * weight));
+                    banks.set_incoming(t, dir as usize, scratch32);
+                }
+            };
+            for (from, to, payload) in &local {
+                let pr = recvs
+                    .iter()
+                    .find(|pr| pr.from == *from && pr.to == *to)
+                    .expect("local delivery must have a matching receive plan");
+                apply(&states[to].banks, &pr.items, payload, &mut scratch32);
+            }
+            for pr in &recvs {
+                let src = ctx.assignment[pr.from];
+                if src == slot {
+                    continue;
+                }
+                let payload: Vec<f32> =
+                    fc.recv_vec(src as usize, pair_tag(pr.from, pr.to)).map_err(fail)?;
+                apply(&states[&pr.to].banks, &pr.items, &payload, &mut scratch32);
+            }
         }
 
         executed += 1;
@@ -785,6 +867,15 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
             converged = true;
             break;
         }
+    }
+
+    if pipelined {
+        let total = recv_ready + recv_blocked;
+        if total > 0 {
+            tel.gauge_set("comm.overlap_ratio", recv_ready as f64 / total as f64);
+        }
+        tel.counter_add("comm.recv_ready", recv_ready);
+        tel.counter_add("comm.recv_blocked", recv_blocked);
     }
 
     Ok(SlotOutcome::Finished {

@@ -23,6 +23,12 @@ pub enum ScheduleKind {
     /// Descending-segment-count sort dealt round-robin across workers
     /// (the paper's L3 mapping applied to the CPU pool).
     L3Sorted,
+    /// The pipelined-exchange variant of L3: boundary-touching tracks
+    /// (those whose exits feed a neighbour domain) dispatch first, so
+    /// outgoing boundary fluxes are final — and can ship — while the
+    /// interior tracks are still sweeping. Boundary and interior halves
+    /// each keep the L3 descending-weight deal.
+    BoundaryFirst,
 }
 
 /// A resolved dispatch order for one problem: position `i` in the sweep's
@@ -65,7 +71,40 @@ impl SweepSchedule {
                 // most one, matching its near-even split).
                 Self { kind, order: Some(bins.concat()) }
             }
+            // Without an exchange plan there are no boundary tracks to
+            // prioritise; the order degenerates to plain L3.
+            ScheduleKind::BoundaryFirst => {
+                let mut s = Self::with_workers(ScheduleKind::L3Sorted, problem, workers);
+                s.kind = kind;
+                s
+            }
         }
+    }
+
+    /// Builds the boundary-first order: `boundary_tracks` (the tracks
+    /// whose exits ship to neighbour domains, deduplicated) dispatch
+    /// before every interior track. Each half is dealt with the L3
+    /// descending-weight round-robin so the load stays balanced; the
+    /// boundary half simply jumps the queue.
+    pub fn boundary_first(problem: &Problem, boundary_tracks: &[u32], workers: usize) -> Self {
+        let n = problem.num_tracks();
+        let mut is_boundary = vec![false; n];
+        for &t in boundary_tracks {
+            is_boundary[t as usize] = true;
+        }
+        let deal = |tracks: &[u32]| -> Vec<u32> {
+            let weights: Vec<u64> = tracks
+                .iter()
+                .map(|&t| problem.sweep_tracks[t as usize].num_segments as u64)
+                .collect();
+            let bins = sorted_round_robin(&weights, workers.max(1));
+            bins.concat().into_iter().map(|i| tracks[i as usize]).collect()
+        };
+        let boundary: Vec<u32> = (0..n as u32).filter(|&t| is_boundary[t as usize]).collect();
+        let interior: Vec<u32> = (0..n as u32).filter(|&t| !is_boundary[t as usize]).collect();
+        let mut order = deal(&boundary);
+        order.extend(deal(&interior));
+        Self { kind: ScheduleKind::BoundaryFirst, order: Some(order) }
     }
 
     pub fn kind(&self) -> ScheduleKind {
@@ -135,6 +174,46 @@ mod tests {
             }
             assert!(seen.iter().all(|&b| b));
         }
+    }
+
+    #[test]
+    fn boundary_first_is_a_permutation_with_boundary_tracks_leading() {
+        let p = problem();
+        let n = p.num_tracks();
+        // An arbitrary but deterministic "boundary" subset.
+        let boundary: Vec<u32> = (0..n as u32).filter(|t| t % 3 == 0).collect();
+        for workers in [1, 2, 8] {
+            let s = SweepSchedule::boundary_first(&p, &boundary, workers);
+            assert_eq!(s.kind(), ScheduleKind::BoundaryFirst);
+            assert_eq!(s.explicit_len(), Some(n));
+            let mut seen = vec![false; n];
+            for i in 0..n {
+                let t = s.track_at(i) as usize;
+                assert!(!seen[t], "track {t} dispatched twice (workers={workers})");
+                seen[t] = true;
+            }
+            assert!(seen.iter().all(|&b| b));
+            // Every boundary track occupies one of the first |boundary|
+            // dispatch positions.
+            for i in 0..boundary.len() {
+                assert!(
+                    s.track_at(i).is_multiple_of(3),
+                    "position {i} holds interior track {} ahead of the boundary set",
+                    s.track_at(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_first_without_a_plan_degenerates_to_l3() {
+        let p = problem();
+        let bf = SweepSchedule::with_workers(ScheduleKind::BoundaryFirst, &p, 2);
+        let l3 = SweepSchedule::with_workers(ScheduleKind::L3Sorted, &p, 2);
+        assert_eq!(bf.kind(), ScheduleKind::BoundaryFirst);
+        let order: Vec<u32> = (0..p.num_tracks()).map(|i| bf.track_at(i)).collect();
+        let expect: Vec<u32> = (0..p.num_tracks()).map(|i| l3.track_at(i)).collect();
+        assert_eq!(order, expect);
     }
 
     #[test]

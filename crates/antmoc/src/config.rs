@@ -59,12 +59,15 @@
 use std::collections::HashMap;
 
 use antmoc_cluster::fault::{FaultConfig, RankDeath};
+use antmoc_cluster::LinkModel;
 use antmoc_geom::c5g7::{C5g7Options, RoddedConfig};
 use antmoc_gpusim::DeviceSpec;
 use antmoc_input::{CaseKind, CaseSpec};
 use antmoc_quadrature::PolarType;
 use antmoc_solver::device::CuMapping;
-use antmoc_solver::{EigenOptions, ExpMode, KernelConfig, ScheduleKind, StorageMode, TallyMode};
+use antmoc_solver::{
+    EigenOptions, ExchangeMode, ExpMode, KernelConfig, ScheduleKind, StorageMode, TallyMode,
+};
 use antmoc_track::TrackParams;
 
 /// Which execution backend runs the sweeps.
@@ -179,6 +182,13 @@ pub struct RunConfig {
     pub kernel: KernelConfig,
     /// Spatial decomposition grid; `(1, 1, 1)` runs single-domain.
     pub decomposition: (usize, usize, usize),
+    /// Boundary-exchange pipeline for decomposed runs
+    /// (`[decomposition] exchange = sync | pipelined`).
+    pub exchange: ExchangeMode,
+    /// Simulated interconnect for the decomposed boundary-flux traffic
+    /// (`[decomposition] link_latency_us / link_mb_per_s`); zero keeps
+    /// the instant in-process channels.
+    pub link: LinkModel,
     /// Extra equilibration sweeps for a post-solve neutron-balance check
     /// attached to the run artifact; 0 disables it (single-domain CPU
     /// runs only).
@@ -204,6 +214,8 @@ impl Default for RunConfig {
             schedule: ScheduleKind::Natural,
             kernel: KernelConfig::default(),
             decomposition: (1, 1, 1),
+            exchange: ExchangeMode::Sync,
+            link: LinkModel::default(),
             balance_sweeps: 0,
             fixed_fission: false,
             fault: FaultSettings::default(),
@@ -410,6 +422,7 @@ impl RunConfig {
             cfg.schedule = match v.to_lowercase().as_str() {
                 "natural" => ScheduleKind::Natural,
                 "l3_sorted" | "l3-sorted" | "l3" => ScheduleKind::L3Sorted,
+                "boundary_first" | "boundary-first" => ScheduleKind::BoundaryFirst,
                 other => {
                     return Err(ConfigError {
                         line,
@@ -477,6 +490,34 @@ impl RunConfig {
         if cfg.decomposition.0 == 0 || cfg.decomposition.1 == 0 || cfg.decomposition.2 == 0 {
             return Err(ConfigError { line: 0, message: "decomposition dims must be >= 1".into() });
         }
+        if let Some((line, v)) = get("decomposition", "exchange") {
+            cfg.exchange = match v.to_lowercase().as_str() {
+                "sync" => ExchangeMode::Sync,
+                "pipelined" => ExchangeMode::Pipelined,
+                other => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown exchange mode {other:?}"),
+                    })
+                }
+            };
+        }
+        let link_latency_us: f64 = parse_num(get("decomposition", "link_latency_us"), 0.0)?;
+        let link_mb_per_s: f64 = parse_num(get("decomposition", "link_mb_per_s"), 0.0)?;
+        for (key, v) in [("link_latency_us", link_latency_us), ("link_mb_per_s", link_mb_per_s)] {
+            if v < 0.0 || !v.is_finite() {
+                let line = get("decomposition", key).map_or(0, |(l, _)| l);
+                return Err(ConfigError {
+                    line,
+                    message: format!("{key} must be finite and >= 0, got {v}"),
+                });
+            }
+        }
+        cfg.link = LinkModel {
+            latency: std::time::Duration::from_nanos((link_latency_us * 1000.0) as u64),
+            // 1 MB/s = 1e6 bytes/s -> 1000 ns per byte; 0 means instant.
+            ns_per_byte: if link_mb_per_s > 0.0 { 1000.0 / link_mb_per_s } else { 0.0 },
+        };
 
         // [fault]
         cfg.fault.enabled = parse_num(get("fault", "enabled"), cfg.fault.enabled)?;
@@ -641,7 +682,31 @@ nz = 2
         let cfg = RunConfig::parse("[solver]\nschedule = natural\n").unwrap();
         assert_eq!(cfg.schedule, ScheduleKind::Natural);
         assert_eq!(RunConfig::default().schedule, ScheduleKind::Natural);
+        let cfg = RunConfig::parse("[solver]\nschedule = boundary_first\n").unwrap();
+        assert_eq!(cfg.schedule, ScheduleKind::BoundaryFirst);
         assert!(RunConfig::parse("[solver]\nschedule = zigzag\n").is_err());
+    }
+
+    #[test]
+    fn exchange_and_link_keys_parse() {
+        let cfg = RunConfig::parse(
+            "[decomposition]\nnx = 2\nny = 2\nexchange = pipelined\n\
+             link_latency_us = 50\nlink_mb_per_s = 100\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.exchange, ExchangeMode::Pipelined);
+        assert_eq!(cfg.link.latency, std::time::Duration::from_micros(50));
+        // 100 MB/s -> 10 ns per byte.
+        assert!((cfg.link.ns_per_byte - 10.0).abs() < 1e-12);
+
+        let cfg = RunConfig::parse("[decomposition]\nexchange = sync\n").unwrap();
+        assert_eq!(cfg.exchange, ExchangeMode::Sync);
+        assert!(cfg.link.is_zero());
+        assert_eq!(RunConfig::default().exchange, ExchangeMode::Sync);
+
+        assert!(RunConfig::parse("[decomposition]\nexchange = osmosis\n").is_err());
+        assert!(RunConfig::parse("[decomposition]\nlink_latency_us = -1\n").is_err());
+        assert!(RunConfig::parse("[decomposition]\nlink_mb_per_s = -5\n").is_err());
     }
 
     #[test]

@@ -9,7 +9,9 @@ use antmoc_geom::c5g7::{C5g7, PinAddress};
 use antmoc_geom::{AxialModel, FsrId, Geometry};
 use antmoc_gpusim::{Device, DeviceSpec};
 use antmoc_input::{CaseKind, LoweredModel};
-use antmoc_solver::cluster::{solve_cluster, Backend, SerialSweeper};
+use antmoc_solver::cluster::{
+    solve_cluster_with, Backend, ClusterOptions, ExchangeMode, SerialSweeper,
+};
 use antmoc_solver::decomp::{DecompSpec, Decomposition};
 use antmoc_solver::device::DeviceSolver;
 use antmoc_solver::fixed::{solve_fixed_source, FixedSourceOptions};
@@ -126,11 +128,19 @@ pub fn run(config: &RunConfig) -> RunReport {
         match config.schedule {
             ScheduleKind::Natural => "natural",
             ScheduleKind::L3Sorted => "l3_sorted",
+            ScheduleKind::BoundaryFirst => "boundary_first",
         },
     );
     tel.set_meta("tallies", config.kernel.tallies.name());
     tel.set_meta("exp", config.kernel.exp.name());
     tel.set_meta_num("decomposition_domains", (nx * ny * nz) as f64);
+    tel.set_meta(
+        "exchange",
+        match config.exchange {
+            ExchangeMode::Sync => "sync",
+            ExchangeMode::Pipelined => "pipelined",
+        },
+    );
 
     // Stage 2: geometry construction.
     let t0 = Instant::now();
@@ -394,6 +404,8 @@ fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport
             kernel: config.kernel.clone(),
             workers: None,
             max_restarts: config.fault.max_restarts,
+            exchange: config.exchange,
+            link: config.link,
         };
         let r = {
             let _s = tel.span("transport");
@@ -401,9 +413,16 @@ fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport
         };
         (r.keff, r.iterations, r.converged, r.phi, r.comm_bytes)
     } else {
+        let copts = ClusterOptions {
+            exchange: config.exchange,
+            link: config.link,
+            schedule: config.schedule,
+            workers: None,
+            kernel: config.kernel.clone(),
+        };
         let r = {
             let _s = tel.span("transport");
-            solve_cluster(&decomp, &backend, &config.eigen)
+            solve_cluster_with(&decomp, &backend, &config.eigen, &copts)
         };
         let bytes = r.traffic.iter().map(|t| t.sent_bytes).sum();
         (r.keff, r.iterations, r.converged, r.phi, bytes)

@@ -1,0 +1,100 @@
+//! End-to-end fault recovery with the **pipelined** boundary exchange:
+//! the same kill-rank-1 scenario as `integration_fault_recovery`, but
+//! with `[decomposition] exchange = pipelined`, so the run exercises the
+//! nonblocking receive path (poll first, block on the fault-decorated
+//! receive only when the payload has not landed) under message drops,
+//! bit-flips, and a mid-solve rank death. The recovered k_eff must still
+//! match the fault-free pipelined run to 1e-8 and the restart machinery
+//! must report exactly one absorbed failure.
+//!
+//! One test function on purpose: both runs share the process-global
+//! telemetry, so they must not interleave with other tests in this
+//! binary.
+
+use antmoc::config::RunConfig;
+use antmoc::pipeline::run;
+use antmoc::telemetry::{Json, Telemetry};
+
+const BASE: &str = r#"
+[model]
+axial_dz = 21.42
+[tracks]
+num_azim = 4
+radial_spacing = 1.2
+num_polar = 2
+axial_spacing = 20.0
+[decomposition]
+nx = 2
+ny = 2
+nz = 1
+exchange = pipelined
+[solver]
+tolerance = 1e-30
+max_iterations = 25
+mode = otf
+backend = cpu-serial
+"#;
+
+const FAULT: &str = r#"
+[fault]
+enabled = true
+seed = 42
+drop_p = 0.05
+flip_p = 0.01
+max_retries = 24
+checkpoint_interval = 5
+max_restarts = 4
+kill_rank = 1
+kill_iteration = 18
+"#;
+
+#[test]
+fn killed_rank_recovers_under_the_pipelined_exchange() {
+    let tel = Telemetry::global();
+
+    // Fault-free pipelined reference: the fixed iteration budget (1e-30
+    // tolerance is unreachable) makes both runs execute identical
+    // arithmetic, so the k comparison is exact.
+    tel.reset();
+    let clean_cfg = RunConfig::parse(BASE).unwrap();
+    assert!(!clean_cfg.fault.enabled);
+    assert_eq!(clean_cfg.exchange, antmoc_solver::ExchangeMode::Pipelined);
+    let clean = run(&clean_cfg);
+
+    tel.reset();
+    let cfg = RunConfig::parse(&format!("{BASE}{FAULT}")).unwrap();
+    assert!(cfg.fault.enabled);
+    assert_eq!(cfg.exchange, antmoc_solver::ExchangeMode::Pipelined);
+    let report = run(&cfg);
+    let artifact = antmoc::artifact::run_artifact(&report);
+
+    assert!(
+        (report.keff - clean.keff).abs() < 1e-8,
+        "recovered pipelined k {} vs fault-free pipelined {}",
+        report.keff,
+        clean.keff
+    );
+    assert_eq!(report.iterations, clean.iterations);
+
+    // The injection landed and the degradation response engaged: exactly
+    // one rank death absorbed, retried sends from the drop probability,
+    // and a rebalance over the three survivors.
+    assert_eq!(artifact.counter("comm.rank_failures"), 1);
+    assert!(artifact.counter("comm.retries") > 0, "p = 0.05 must retry some sends");
+    let fault = artifact.sections.get("fault").expect("fault section");
+    assert_eq!(fault.get("restarts").and_then(Json::as_u64), Some(1));
+    let rebalance = artifact.sections.get("rebalance").expect("rebalance section");
+    let events = match rebalance.get("events") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("rebalance.events missing: {other:?}"),
+    };
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].get("died_rank").and_then(Json::as_u64), Some(1));
+    assert_eq!(events[0].get("survivors").and_then(Json::as_u64), Some(3));
+
+    // The pipelined drain actually polled: every exchange receive is
+    // classified ready or blocked, and the ratio gauge was emitted.
+    let ready = artifact.counter("comm.recv_ready");
+    let blocked = artifact.counter("comm.recv_blocked");
+    assert!(ready + blocked > 0, "pipelined exchange recorded no receives");
+}
