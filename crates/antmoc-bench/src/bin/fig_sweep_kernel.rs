@@ -1,5 +1,5 @@
 //! Sweep-kernel figure: throughput of the fused SoA transport sweep under
-//! the four `tallies x exp` kernel combinations on a C5G7-sized problem,
+//! the `tallies x exp x kernel` combinations on a C5G7-sized problem,
 //! plus an eigenvalue cross-check of the table exponential.
 //!
 //! * **atomic** tallies accumulate into shared `AtomicU64` slots with a
@@ -7,15 +7,23 @@
 //! * **privatized** tallies give each worker a dense private `f64` buffer
 //!   and reduce in fixed worker order — no atomics in the hot path;
 //! * **intrinsic** evaluates `1 - exp(-tau)` with `exp_m1`; **table**
-//!   interpolates the precomputed [`ExpTable`].
+//!   interpolates the precomputed [`ExpTable`];
+//! * **scalar** runs the historical per-group loop; **vector** runs the
+//!   f64x4 group-lane kernel with per-track staged attenuation spans
+//!   (half the exp work, contiguous group-major reads).
 //!
 //! Gates:
 //! * privatized tallies must reach >= 1.15x the atomic throughput at
 //!   4 workers (best pairing across exp modes, best-of-REPS to damp OS
 //!   noise on shared CI machines);
+//! * the vector kernel must reach >= 1.3x the privatized *scalar* kernel
+//!   at 4 workers (best pairing across exp modes) while its serial flux
+//!   is bitwise identical to the scalar kernel's;
 //! * the table-exponential eigenvalue must land within 1e-6 of the
 //!   intrinsic one;
-//! * the privatized sweep must report `sweep.cas_retries == 0`.
+//! * the privatized sweep must report `sweep.cas_retries == 0`;
+//! * the emitted report must carry the `sweep.bytes_per_segment` gauge
+//!   (CI re-checks this via `report_diff --require-gauge`).
 //!
 //! ```text
 //! cargo run --release -p antmoc-bench --bin fig_sweep_kernel
@@ -28,7 +36,7 @@ use antmoc::geom::c5g7::{C5g7, C5g7Options};
 use antmoc::solver::sweep::transport_sweep_with;
 use antmoc::solver::{
     solve_eigenvalue, CpuSweeper, EigenOptions, ExpMode, FluxBanks, KernelConfig, Problem,
-    SegmentSource, SweepArena, SweepSchedule, TallyMode,
+    SegmentSource, SweepArena, SweepKernel, SweepSchedule, TallyMode,
 };
 use antmoc::telemetry::Telemetry;
 use antmoc::track::TrackParams;
@@ -36,6 +44,7 @@ use antmoc::track::TrackParams;
 const WORKERS: usize = 4;
 const REPS: usize = 5;
 const MIN_SPEEDUP: f64 = 1.15;
+const MIN_VECTOR_SPEEDUP: f64 = 1.3;
 const MAX_KEFF_DELTA: f64 = 1e-6;
 
 /// Best-of-REPS sweep throughput (segments/s) for one kernel config.
@@ -74,8 +83,30 @@ fn eigen_keff(problem: &Problem, exp: ExpMode) -> f64 {
     r.keff
 }
 
+/// Serial scalar-vs-vector flux: must be bit-for-bit identical (the gate
+/// the conformance suite proves across the full matrix; re-checked here
+/// so the perf figure can never ship a fast-but-wrong kernel).
+fn serial_bitwise_ok(problem: &Problem, segsrc: &SegmentSource, q: &[f64]) -> bool {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let run = |kernel: SweepKernel| {
+        let mut arena = SweepArena::new(KernelConfig {
+            tallies: TallyMode::Privatized,
+            kernel,
+            ..Default::default()
+        });
+        let banks = FluxBanks::new(problem.num_tracks(), problem.num_groups());
+        pool.install(|| {
+            transport_sweep_with(problem, segsrc, q, &banks, &SweepSchedule::natural(), &mut arena)
+        })
+    };
+    let scalar = run(SweepKernel::Scalar);
+    let vector = run(SweepKernel::Vector);
+    scalar.leakage.to_bits() == vector.leakage.to_bits()
+        && scalar.phi_acc.iter().zip(&vector.phi_acc).all(|(a, b)| a.to_bits() == b.to_bits())
+}
+
 fn main() -> ExitCode {
-    println!("# Sweep kernel: tally strategy x exp evaluation, {WORKERS} workers\n");
+    println!("# Sweep kernel: tally strategy x exp evaluation x kernel, {WORKERS} workers\n");
     Telemetry::global().reset();
 
     let m = C5g7::build(C5g7Options { axial_dz: 21.42, ..Default::default() });
@@ -102,19 +133,21 @@ fn main() -> ExitCode {
     let pool = rayon::ThreadPoolBuilder::new().num_threads(WORKERS).build().unwrap();
 
     let combos = [
-        (TallyMode::Atomic, ExpMode::Intrinsic),
-        (TallyMode::Privatized, ExpMode::Intrinsic),
-        (TallyMode::Atomic, ExpMode::Table),
-        (TallyMode::Privatized, ExpMode::Table),
+        (TallyMode::Atomic, ExpMode::Intrinsic, SweepKernel::Scalar),
+        (TallyMode::Privatized, ExpMode::Intrinsic, SweepKernel::Scalar),
+        (TallyMode::Atomic, ExpMode::Table, SweepKernel::Scalar),
+        (TallyMode::Privatized, ExpMode::Table, SweepKernel::Scalar),
+        (TallyMode::Privatized, ExpMode::Intrinsic, SweepKernel::Vector),
+        (TallyMode::Privatized, ExpMode::Table, SweepKernel::Vector),
     ];
-    let mut rates = [0.0f64; 4];
-    println!("| tallies | exp | throughput (Mseg/s, best of {REPS}) |");
-    println!("|---|---|---|");
-    for (i, (tallies, exp)) in combos.into_iter().enumerate() {
-        let kernel = KernelConfig { tallies, exp, ..Default::default() };
-        let (rate, _) = throughput(&pool, &problem, &segsrc, &q, &schedule, kernel);
+    let mut rates = [0.0f64; 6];
+    println!("| tallies | exp | kernel | throughput (Mseg/s, best of {REPS}) |");
+    println!("|---|---|---|---|");
+    for (i, (tallies, exp, kernel)) in combos.into_iter().enumerate() {
+        let cfg = KernelConfig { tallies, exp, kernel, ..Default::default() };
+        let (rate, _) = throughput(&pool, &problem, &segsrc, &q, &schedule, cfg);
         rates[i] = rate;
-        println!("| {} | {} | {:.3} |", tallies.name(), exp.name(), rate / 1e6);
+        println!("| {} | {} | {} | {:.3} |", tallies.name(), exp.name(), kernel.name(), rate / 1e6);
     }
     let speedup_intrinsic = rates[1] / rates[0];
     let speedup_table = rates[3] / rates[2];
@@ -123,6 +156,16 @@ fn main() -> ExitCode {
         "\nprivatized/atomic speedup: intrinsic {speedup_intrinsic:.3}x, \
          table {speedup_table:.3}x"
     );
+    let vec_intrinsic = rates[4] / rates[1];
+    let vec_table = rates[5] / rates[3];
+    let vec_speedup = vec_intrinsic.max(vec_table);
+    println!(
+        "vector/scalar (privatized) speedup: intrinsic {vec_intrinsic:.3}x, \
+         table {vec_table:.3}x"
+    );
+
+    let bitwise_ok = serial_bitwise_ok(&problem, &segsrc, &q);
+    println!("serial scalar-vs-vector flux bitwise identical: {bitwise_ok}");
 
     // The last combos above ended on privatized sweeps; the retry counter
     // must not have moved for any of them.
@@ -130,16 +173,22 @@ fn main() -> ExitCode {
     let cas_retries = report.counter("sweep.cas_retries");
     println!("sweep.cas_retries (all sweeps, incl. atomic): {cas_retries}");
 
-    // A privatized-only telemetry window for the zero-retry gate.
+    // A privatized-only telemetry window for the zero-retry gate; the
+    // vector kernel runs here so the emitted artifact reports the staged
+    // kernel's bytes-per-segment roofline gauge.
     Telemetry::global().reset();
     let kernel = KernelConfig {
         tallies: TallyMode::Privatized,
         exp: ExpMode::Intrinsic,
+        kernel: SweepKernel::Vector,
         ..Default::default()
     };
     let _ = throughput(&pool, &problem, &segsrc, &q, &schedule, kernel);
-    let priv_retries = Telemetry::global().report().counter("sweep.cas_retries");
+    let window = Telemetry::global().report();
+    let priv_retries = window.counter("sweep.cas_retries");
     println!("sweep.cas_retries (privatized only): {priv_retries}");
+    let has_bps_gauge = window.gauges.contains_key("sweep.bytes_per_segment");
+    println!("sweep.bytes_per_segment gauge present: {has_bps_gauge}");
 
     // Eigenvalue cross-check of the table exponential on a coarse solve.
     let coarse = TrackParams {
@@ -165,6 +214,18 @@ fn main() -> ExitCode {
         );
         ok = false;
     }
+    if vec_speedup < MIN_VECTOR_SPEEDUP {
+        eprintln!(
+            "fig_sweep_kernel: FAIL — vector speedup {vec_speedup:.3}x < {MIN_VECTOR_SPEEDUP}x \
+             over the privatized scalar kernel (intrinsic {vec_intrinsic:.3}x, \
+             table {vec_table:.3}x)"
+        );
+        ok = false;
+    }
+    if !bitwise_ok {
+        eprintln!("fig_sweep_kernel: FAIL — serial vector flux is not bitwise equal to scalar");
+        ok = false;
+    }
     if dk > MAX_KEFF_DELTA {
         eprintln!(
             "fig_sweep_kernel: FAIL — table k-eff differs from intrinsic by {dk:.2e} > \
@@ -176,9 +237,14 @@ fn main() -> ExitCode {
         eprintln!("fig_sweep_kernel: FAIL — privatized sweeps reported {priv_retries} CAS retries");
         ok = false;
     }
+    if !has_bps_gauge {
+        eprintln!("fig_sweep_kernel: FAIL — report lacks the sweep.bytes_per_segment gauge");
+        ok = false;
+    }
     if ok {
         println!(
-            "\nfig_sweep_kernel: PASS (speedup {speedup:.3}x >= {MIN_SPEEDUP}x, \
+            "\nfig_sweep_kernel: PASS (privatized {speedup:.3}x >= {MIN_SPEEDUP}x, \
+             vector {vec_speedup:.3}x >= {MIN_VECTOR_SPEEDUP}x bitwise-clean, \
              |dk| {dk:.2e} <= {MAX_KEFF_DELTA:.0e}, privatized CAS retries = 0)"
         );
         ExitCode::SUCCESS

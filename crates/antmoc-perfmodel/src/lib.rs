@@ -14,11 +14,13 @@
 //! paper's 16 000-GPU testbed; DESIGN.md §1).
 
 pub mod advisor;
+pub mod cache;
 pub mod memory;
 pub mod projector;
 pub mod tracks;
 
 pub use advisor::{advise, advise_tallies, min_feasible_devices, Advice, TallyAdvice};
+pub use cache::{sweep_bytes_per_segment, CacheModel};
 pub use memory::{MemoryModel, MEM_PER_2D_SEGMENT, MEM_PER_3D_SEGMENT};
 pub use projector::{ScalingPoint, ScalingProjector};
 pub use tracks::{

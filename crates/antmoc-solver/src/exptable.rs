@@ -36,20 +36,30 @@ impl ExpTable {
         Self { values, inv_step: 1.0 / step, tau_max }
     }
 
-    /// Builds a table sized so the worst-case absolute interpolation
-    /// error is below `epsilon`. For linear interpolation of a function
-    /// with `|f''| <= 1` the error bound is `step^2 / 8`.
+    /// Builds a table sized so the worst-case absolute error is below
+    /// `epsilon` over the whole half-line `[0, inf)`, not just the table
+    /// range. For linear interpolation of a function with `|f''| <= 1`
+    /// the in-range bound is `step^2 / 8`; beyond the range the table
+    /// saturates, with error `exp(-tau_max)` at worst (taken at
+    /// `tau = tau_max`, shrinking toward zero above it) — so `tau_max`
+    /// is extended to at least `-ln(epsilon)` to keep the saturation
+    /// branch inside the declared tolerance too. A 12-range table at
+    /// `epsilon = 1e-7` would otherwise err by `exp(-12) ~ 6.1e-6` for
+    /// every tau just past the range.
     pub fn with_tolerance(tau_max: f64, epsilon: f64) -> Self {
         assert!(epsilon > 0.0);
+        let tau_max = tau_max.max(-epsilon.ln());
         let step = (8.0 * epsilon).sqrt();
         let nodes = ((tau_max / step).ceil() as usize + 1).max(2);
         Self::new(tau_max, nodes)
     }
 
-    /// `1 - exp(-tau)` by table lookup.
+    /// `1 - exp(-tau)` by table lookup. A NaN `tau` yields NaN, matching
+    /// the intrinsic (the negated assert form deliberately lets NaN
+    /// through — `!(NaN < 0)` is true — instead of tripping on it).
     #[inline]
     pub fn eval(&self, tau: f64) -> f64 {
-        debug_assert!(tau >= 0.0);
+        debug_assert!(!(tau < 0.0), "negative tau {tau}");
         if tau >= self.tau_max {
             return *self.values.last().unwrap();
         }
@@ -151,6 +161,54 @@ mod tests {
         }
         assert_eq!(intrinsic.name(), "intrinsic");
         assert_eq!(via_table.name(), "table");
+    }
+
+    #[test]
+    fn edge_taus_match_intrinsic_within_tolerance() {
+        // The extremes the sweep can feed the evaluator: a void segment
+        // (tau = 0), subnormal and denormal-adjacent taus from near-void
+        // materials times short segments, and optically black segments
+        // (tau > 700, where even exp(-tau) underflows to 0).
+        let eps = 1e-7;
+        let t = ExpTable::with_tolerance(DEFAULT_TAU_MAX, eps);
+        for tau in [0.0, 5e-324, f64::MIN_POSITIVE, 1e-30, 1e-9, 701.0, 750.0, 1e6, f64::MAX] {
+            let exact = -(-tau).exp_m1();
+            let got = t.eval(tau);
+            assert!(
+                (got - exact).abs() <= eps * 1.01,
+                "tau {tau:e}: table {got} vs intrinsic {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn tolerance_covers_the_saturation_branch() {
+        // The latent divergence this table used to carry: with the range
+        // pinned at 12, every tau just past 12 erred by exp(-12) ~ 6.1e-6
+        // — two decades above a declared 1e-7 tolerance. The constructor
+        // now extends the range to -ln(epsilon).
+        for eps in [1e-5, 1e-7, 1e-9] {
+            let t = ExpTable::with_tolerance(DEFAULT_TAU_MAX, eps);
+            for tau in [12.0 + 1e-9, 13.0, 15.0, 20.0, 40.0f64] {
+                let exact = -(-tau).exp_m1();
+                assert!(
+                    (t.eval(tau) - exact).abs() <= eps * 1.01,
+                    "eps {eps:e}, tau {tau}: {} vs {exact}",
+                    t.eval(tau)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_tau_propagates_like_the_intrinsic() {
+        // The sweep never produces NaN tau itself, but the guard must not
+        // turn a poisoned upstream value into a panic or a finite lie;
+        // the intrinsic returns NaN, so must the table.
+        let t = ExpTable::with_tolerance(DEFAULT_TAU_MAX, 1e-7);
+        assert!(t.eval(f64::NAN).is_nan());
+        assert!(ExpEval::Table(&t).one_minus_exp(f64::NAN).is_nan());
+        assert!(ExpEval::Intrinsic.one_minus_exp(f64::NAN).is_nan());
     }
 
     #[test]

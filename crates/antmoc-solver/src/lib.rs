@@ -5,6 +5,8 @@
 //!   cross sections, tracked volumes, per-track sweep metadata);
 //! * [`sweep`] — flux banks and the segment sweep kernel with EXP / OTF /
 //!   Manager storage modes (§4.1 of the paper);
+//! * [`simd`] — the in-tree `f64x4` lane type behind the group-vectorized
+//!   sweep kernel (`[solver] kernel = vector`);
 //! * [`tally`] — atomic vs privatized flux-tally strategies and the
 //!   reusable [`SweepArena`] behind the arena-driven sweep;
 //! * [`source`] — reduced-source and scalar-flux updates, fission
@@ -32,6 +34,7 @@ pub mod manager;
 pub mod problem;
 pub mod recovery;
 pub mod schedule;
+pub mod simd;
 pub mod solver2d;
 pub mod source;
 pub mod sweep;
@@ -50,4 +53,4 @@ pub use recovery::{solve_cluster_recovering, RebalanceEvent, RecoveryOptions, Re
 pub use schedule::{ScheduleKind, SweepSchedule};
 pub use source::{fission_production, fission_rates};
 pub use sweep::{FluxBanks, SegmentSource, StorageMode, SweepOutcome};
-pub use tally::{ExpMode, KernelConfig, SweepArena, SweepTallies, TallyMode};
+pub use tally::{ExpMode, KernelConfig, SweepArena, SweepKernel, SweepTallies, TallyMode};

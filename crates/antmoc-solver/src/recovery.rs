@@ -465,7 +465,7 @@ struct SubState {
 /// The per-subdomain sweep engine. Enum dispatch keeps the borrow of the
 /// shared segment source simple across the generation loop.
 enum SlotSweeper {
-    Cpu(SweepSchedule, SweepArena),
+    Cpu(SweepSchedule, Box<SweepArena>),
     Serial,
     Device(Box<DeviceSolver>),
 }
@@ -527,7 +527,7 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
                         problem,
                         ctx.rec.workers.unwrap_or_else(rayon::current_num_threads),
                     ),
-                    SweepArena::new(ctx.rec.kernel.clone()),
+                    Box::new(SweepArena::new(ctx.rec.kernel.clone())),
                 ),
                 Backend::CpuSerial => SlotSweeper::Serial,
                 Backend::Device { spec, mode, mapping } => {

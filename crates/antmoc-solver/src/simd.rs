@@ -1,0 +1,178 @@
+//! An explicit in-tree `f64x4` lane type for the group-vectorized sweep
+//! kernel.
+//!
+//! No external SIMD crate and no `std::simd` (still unstable): [`F64x4`]
+//! is a plain `#[repr(align(32))]` array newtype whose elementwise
+//! operators are written as fixed-trip-count loops. That shape is exactly
+//! what LLVM's autovectorizer lowers to packed AVX/NEON arithmetic in
+//! release builds, while keeping a crucial property the conformance suite
+//! depends on: **every lane performs the same scalar `f64` operation the
+//! scalar kernel performs**, so a vectorized group loop is bitwise
+//! identical to the scalar group loop lane by lane (IEEE 754 add/sub/mul
+//! are deterministic; only reassociation could change bits, and none of
+//! these ops reassociate).
+//!
+//! Remainder groups (`G % 4 != 0`) are handled by *masked* loads:
+//! [`F64x4::load_partial`] fills dead lanes with `0.0`, and the kernel
+//! pads its staged attenuation spans with zeros, so tail-lane arithmetic
+//! produces `0.0` contributions that are never delivered (`x - 0 * e`
+//! leaves `psi` untouched and the tally span is truncated to `G`).
+
+/// Lane width of the sweep kernel's vector path.
+pub const LANES: usize = 4;
+
+/// Rounds a group count up to a whole number of lanes (the padded span
+/// stride the staged kernel uses).
+#[inline]
+pub const fn padded_groups(g: usize) -> usize {
+    g.div_ceil(LANES) * LANES
+}
+
+/// Four `f64` lanes. 32-byte alignment matches one AVX register / two
+/// NEON registers so aligned spills stay cheap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(align(32))]
+pub struct F64x4(pub [f64; LANES]);
+
+impl F64x4 {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        Self([v; LANES])
+    }
+
+    /// Loads four lanes from the first four elements of `s`.
+    #[inline(always)]
+    pub fn load(s: &[f64]) -> Self {
+        Self([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Masked load: lanes past `s.len()` are filled with `0.0` (the
+    /// neutral value of the kernel's attenuation arithmetic).
+    #[inline(always)]
+    pub fn load_partial(s: &[f64]) -> Self {
+        let mut a = [0.0f64; LANES];
+        let n = s.len().min(LANES);
+        a[..n].copy_from_slice(&s[..n]);
+        Self(a)
+    }
+
+    /// Stores all four lanes into the first four elements of `d`.
+    #[inline(always)]
+    pub fn store(self, d: &mut [f64]) {
+        d[..LANES].copy_from_slice(&self.0);
+    }
+
+    /// Masked store: writes only the first `n` lanes.
+    #[inline(always)]
+    pub fn store_partial(self, d: &mut [f64], n: usize) {
+        let n = n.min(LANES);
+        d[..n].copy_from_slice(&self.0[..n]);
+    }
+
+    /// Horizontal sum in ascending lane order (the fixed order the
+    /// deterministic reductions require).
+    #[inline(always)]
+    pub fn reduce_add_ordered(self) -> f64 {
+        ((self.0[0] + self.0[1]) + self.0[2]) + self.0[3]
+    }
+}
+
+impl std::ops::Add for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn add(self, rhs: F64x4) -> F64x4 {
+        let mut out = [0.0f64; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i] + rhs.0[i];
+        }
+        F64x4(out)
+    }
+}
+
+impl std::ops::Sub for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn sub(self, rhs: F64x4) -> F64x4 {
+        let mut out = [0.0f64; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i] - rhs.0[i];
+        }
+        F64x4(out)
+    }
+}
+
+impl std::ops::Mul for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn mul(self, rhs: F64x4) -> F64x4 {
+        let mut out = [0.0f64; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i] * rhs.0[i];
+        }
+        F64x4(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_groups_rounds_up_to_lane_multiples() {
+        assert_eq!(padded_groups(0), 0);
+        for g in 1..=4 {
+            assert_eq!(padded_groups(g), 4, "g = {g}");
+        }
+        for g in 5..=8 {
+            assert_eq!(padded_groups(g), 8, "g = {g}");
+        }
+        assert_eq!(padded_groups(9), 12);
+    }
+
+    #[test]
+    fn lanewise_ops_match_scalar_bits() {
+        // The bit-identity claim of the vector kernel, in miniature: each
+        // lane op must produce exactly the bits of the scalar op.
+        let a = [1.000000000000001f64, -2.5e-300, 7.25e17, 0.1];
+        let b = [3.3333333333333f64, 4.5e-310, -1.75e-3, 0.2];
+        let va = F64x4::load(&a);
+        let vb = F64x4::load(&b);
+        for i in 0..LANES {
+            assert_eq!((va + vb).0[i].to_bits(), (a[i] + b[i]).to_bits());
+            assert_eq!((va - vb).0[i].to_bits(), (a[i] - b[i]).to_bits());
+            assert_eq!((va * vb).0[i].to_bits(), (a[i] * b[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn partial_load_masks_dead_lanes_with_zero() {
+        let v = F64x4::load_partial(&[5.0, 6.0]);
+        assert_eq!(v.0, [5.0, 6.0, 0.0, 0.0]);
+        // A full slice behaves like `load`.
+        let w = F64x4::load_partial(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(w.0, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn partial_store_leaves_the_tail_untouched() {
+        let mut d = [9.0f64; 4];
+        F64x4::splat(1.5).store_partial(&mut d, 3);
+        assert_eq!(d, [1.5, 1.5, 1.5, 9.0]);
+    }
+
+    #[test]
+    fn store_round_trips() {
+        let mut d = [0.0f64; 4];
+        F64x4::load(&[1.0, 2.0, 3.0, 4.0]).store(&mut d);
+        assert_eq!(d, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn ordered_reduce_is_left_to_right() {
+        // Float addition is not associative: the fixed order is part of
+        // the determinism contract.
+        let v = F64x4::load(&[1e16, 1.0, -1e16, 1.0]);
+        assert_eq!(v.reduce_add_ordered(), ((1e16 + 1.0) - 1e16) + 1.0);
+    }
+}

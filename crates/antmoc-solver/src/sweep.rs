@@ -20,7 +20,8 @@ use antmoc_track::{trace_3d, Link3d, SegmentStore3d, Track3dId, Track3dInfo, Tra
 use crate::exptable::ExpEval;
 use crate::problem::Problem;
 use crate::schedule::SweepSchedule;
-use crate::tally::{SweepArena, SweepTallies};
+use crate::simd::{padded_groups, F64x4, LANES};
+use crate::tally::{SweepArena, SweepKernel, SweepTallies};
 
 /// CAS retries taken by [`atomic_add_f64`] since process start. The retry
 /// branch only runs under contention, so the extra relaxed increment is
@@ -409,6 +410,186 @@ pub(crate) fn sweep_track_kernel<F: FnMut(usize, f64)>(
     (segs, leak)
 }
 
+/// Per-worker staging storage for the vector kernel: one track's
+/// group-major, lane-padded `1 - exp(-tau)` spans (`segments * gp`
+/// values, `gp = padded_groups(G)`) and each segment's 3D FSR id.
+/// Both allocations are reused across tracks and sweeps via the arena.
+#[derive(Debug, Default)]
+pub(crate) struct StageBuf {
+    /// `e[seg * gp + gi] = 1 - exp(-sigma_t[gi] * len)`; padding lanes
+    /// (`gi >= G`) are 0, the neutral attenuation of the masked tail.
+    e: Vec<f64>,
+    /// FSR id per staged segment, in forward traversal order.
+    fsr: Vec<u32>,
+}
+
+/// The group-vectorized per-track kernel (`[solver] kernel = vector`).
+///
+/// Two structural changes against [`sweep_track_kernel`], neither of
+/// which touches the per-group arithmetic:
+///
+/// 1. **Per-track staging.** The attenuation factors `1 - exp(-tau)`
+///    depend only on the segment, not the direction, so they are staged
+///    into a contiguous group-major span once and read back by both
+///    direction passes — half the transcendental work of the scalar
+///    kernel, which re-evaluates them per traversal. `exp` is a pure
+///    function of the identical `sigma_t * len` input bits, so the staged
+///    values are the exact bits the scalar kernel computes.
+/// 2. **Lane-wide group loop.** The attenuation/tally math runs on
+///    [`F64x4`] lanes. Every lane performs the same IEEE 754 op sequence
+///    as one scalar group iteration (`d = (psi - q) * e`; `w * d`;
+///    `psi - d`), so each group's result is bitwise identical to the
+///    scalar loop's. Remainder groups (G % 4 != 0) take a masked tail:
+///    `psi`/`vals` are `MAX_GROUPS`-padded stack arrays (full-lane loads
+///    and stores stay in bounds), the staged span is zero-padded, and
+///    only the `q` load is masked — its neighbours belong to the *next*
+///    FSR and may sit past the end of the array. Tail lanes thus compute
+///    `(psi_pad - 0) * 0 = 0` and are truncated from the tally span.
+///
+/// Tallies are delivered one contiguous group span per segment
+/// (`tally(qb, &values[..G])`); consumers add the span elementwise in
+/// ascending group order, the same per-slot order the scalar kernel's
+/// per-element closure produces.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep_track_kernel_vec<F: FnMut(usize, &[f64])>(
+    problem: &Problem,
+    segsrc: &SegmentSource,
+    q: &[f64],
+    banks: &FluxBanks,
+    track: u32,
+    scratch: &mut Vec<(u32, f32)>,
+    stage: &mut StageBuf,
+    exp: &ExpEval<'_>,
+    mut tally: F,
+) -> (u64, f64) {
+    let g = problem.num_groups();
+    let gp = padded_groups(g);
+    let st = &problem.sweep_tracks[track as usize];
+    let xs = &problem.xs;
+
+    // Obtain the segment list (stored or regenerated), as in the scalar
+    // kernel.
+    let stored = segsrc.store.as_ref().and_then(|s| s.of(Track3dId(track)));
+    if stored.is_none() {
+        scratch.clear();
+        let info = Track3dInfo {
+            track2d: TrackId(st.track2d),
+            forward2d: st.forward2d,
+            azim: 0, // unused by trace_3d
+            polar: 0,
+            ascending: st.ascending,
+            u_lo: st.u_lo,
+            u_hi: st.u_hi,
+            z_lo: st.z_lo,
+            cot: st.cot,
+            sin_theta: 1.0 / st.inv_sin,
+            length: (st.u_hi - st.u_lo) * st.inv_sin,
+        };
+        let base = problem.layout.segments2d.of(TrackId(st.track2d));
+        let fsr3d = &problem.layout.fsr3d;
+        trace_3d(&info, base, &problem.axial, |fsr, cell, len| {
+            scratch.push((fsr3d.id(fsr, cell as usize).0, len as f32));
+        });
+    }
+
+    // Stage the attenuation spans: one exp evaluation per (segment,
+    // group), reused by both direction passes below. The span buffer is
+    // sized once up front (zero-filling the padding lanes in the same
+    // pass) instead of growing per segment.
+    let nseg = stored.map_or(scratch.len(), <[_]>::len);
+    stage.fsr.clear();
+    stage.e.clear();
+    stage.e.resize(nseg * gp, 0.0);
+    {
+        let mut base = 0usize;
+        let mut stage_one = |fsr: u32, len: f32| {
+            let mat = xs.fsr_mat[fsr as usize] as usize * g;
+            let lenf = len as f64;
+            stage.fsr.push(fsr);
+            for (e, sig) in stage.e[base..base + g].iter_mut().zip(&xs.sigma_t[mat..mat + g]) {
+                // The same `sig * lenf` input bits the scalar kernel's tau
+                // buffer carries, through the same evaluator.
+                *e = exp.one_minus_exp(sig * lenf);
+            }
+            base += gp;
+        };
+        match stored {
+            Some(slice) => {
+                for s in slice {
+                    stage_one(s.fsr3d, s.length);
+                }
+            }
+            None => {
+                for &(f, l) in scratch.iter() {
+                    stage_one(f, l);
+                }
+            }
+        }
+    }
+
+    let mut psi = [0.0f64; MAX_GROUPS];
+    let mut vals = [0.0f64; MAX_GROUPS];
+    let mut leak = 0.0f64;
+    let mut segs = 0u64;
+    let w = F64x4::splat(st.weight);
+    for dir in 0..2usize {
+        banks.load_incoming(track, dir, &mut psi[..g]);
+        let mut run = |psi: &mut [f64; MAX_GROUPS], si: usize| {
+            let qb = stage.fsr[si] as usize * g;
+            let qs = &q[qb..qb + g];
+            // One bounds check for the whole staged span, then
+            // fixed-offset lane loads inside it.
+            let es = &stage.e[si * gp..si * gp + gp];
+            let mut lane = 0usize;
+            // Full lane blocks: unmasked loads throughout.
+            while lane + LANES <= g {
+                let pv = F64x4::load(&psi[lane..]);
+                let qv = F64x4::load(&qs[lane..]);
+                let ev = F64x4::load(&es[lane..]);
+                let d = (pv - qv) * ev;
+                (w * d).store(&mut vals[lane..]);
+                (pv - d).store(&mut psi[lane..]);
+                lane += LANES;
+            }
+            // Remainder block (G % 4 != 0): only the `q` load is masked —
+            // slots past `qb + g` belong to the next FSR (or to nothing
+            // at all); `psi`/`vals`/`es` are lane-padded.
+            if lane < g {
+                let pv = F64x4::load(&psi[lane..]);
+                let qv = F64x4::load_partial(&qs[lane..]);
+                let ev = F64x4::load(&es[lane..]);
+                let d = (pv - qv) * ev;
+                (w * d).store(&mut vals[lane..]);
+                (pv - d).store(&mut psi[lane..]);
+            }
+            tally(qb, &vals[..g]);
+        };
+        if dir == 0 {
+            for si in 0..nseg {
+                run(&mut psi, si);
+            }
+        } else {
+            for si in (0..nseg).rev() {
+                run(&mut psi, si);
+            }
+        }
+        segs += nseg as u64;
+        match st.links[dir] {
+            Link3d::Vacuum => {
+                for p in psi.iter().take(g) {
+                    leak += st.weight * *p;
+                }
+                banks.store_boundary(track, dir, &psi[..g]);
+            }
+            Link3d::Next { track: t2, forward } => {
+                let dir2 = if forward { 0 } else { 1 };
+                banks.store_outgoing(t2.0, dir2, &psi[..g]);
+            }
+        }
+    }
+    (segs, leak)
+}
+
 /// A full parallel transport sweep over every track in natural dispatch
 /// order (the reference / CPU execution; the device solver drives the
 /// same kernel through the simulated GPU).
@@ -534,11 +715,13 @@ pub fn transport_sweep_with(
 
     let track_ns = rayon::WorkerLocal::new(workers, |_| Histogram::new());
     let tracing = tel.trace_enabled();
+    let vector = arena.kernel.kernel == SweepKernel::Vector;
 
     let (segments, leakage) = match strategy {
         SweepTallies::Atomic => {
             let phi_slots = arena.atomic_slots();
             let scratch_bufs = arena.scratch_bufs();
+            let stage_bufs = arena.stage_bufs();
             let exp = arena.exp_eval();
             // Per-track CAS-retry bursts: the counter below totals them,
             // but contention is bursty (a few hot-FSR tracks), so the
@@ -553,16 +736,37 @@ pub fn transport_sweep_with(
                         let t0 = Instant::now();
                         let mut burst = 0u32;
                         let (s, l) = scratch_bufs.with(|scratch| {
-                            sweep_track_kernel(
-                                problem,
-                                segsrc,
-                                q,
-                                banks,
-                                t,
-                                scratch,
-                                &exp,
-                                |slot, v| burst += atomic_add_f64_counted(&phi_slots[slot], v),
-                            )
+                            if vector {
+                                stage_bufs.with(|stage| {
+                                    sweep_track_kernel_vec(
+                                        problem,
+                                        segsrc,
+                                        q,
+                                        banks,
+                                        t,
+                                        scratch,
+                                        stage,
+                                        &exp,
+                                        |qb, vals| {
+                                            for (gi, &v) in vals.iter().enumerate() {
+                                                burst +=
+                                                    atomic_add_f64_counted(&phi_slots[qb + gi], v);
+                                            }
+                                        },
+                                    )
+                                })
+                            } else {
+                                sweep_track_kernel(
+                                    problem,
+                                    segsrc,
+                                    q,
+                                    banks,
+                                    t,
+                                    scratch,
+                                    &exp,
+                                    |slot, v| burst += atomic_add_f64_counted(&phi_slots[slot], v),
+                                )
+                            }
                         });
                         track_ns.with(|h| h.record(t0.elapsed().as_nanos() as u64));
                         cas_burst.with(|h| h.record(burst as u64));
@@ -590,6 +794,7 @@ pub fn transport_sweep_with(
             let out = {
                 let worker_bufs = arena.worker_bufs();
                 let scratch_bufs = arena.scratch_bufs();
+                let stage_bufs = arena.stage_bufs();
                 let exp = arena.exp_eval();
                 rayon::static_partition_fold(
                     n,
@@ -599,16 +804,41 @@ pub fn transport_sweep_with(
                         let t0 = Instant::now();
                         let (s, l) = scratch_bufs.with(|scratch| {
                             worker_bufs.with(|buf| {
-                                sweep_track_kernel(
-                                    problem,
-                                    segsrc,
-                                    q,
-                                    banks,
-                                    t,
-                                    scratch,
-                                    &exp,
-                                    |slot, v| buf[slot] += v,
-                                )
+                                if vector {
+                                    stage_bufs.with(|stage| {
+                                        sweep_track_kernel_vec(
+                                            problem,
+                                            segsrc,
+                                            q,
+                                            banks,
+                                            t,
+                                            scratch,
+                                            stage,
+                                            &exp,
+                                            // Elementwise span add in ascending
+                                            // group order: the same per-slot op
+                                            // sequence as the scalar closure.
+                                            |qb, vals| {
+                                                for (b, &v) in
+                                                    buf[qb..qb + vals.len()].iter_mut().zip(vals)
+                                                {
+                                                    *b += v;
+                                                }
+                                            },
+                                        )
+                                    })
+                                } else {
+                                    sweep_track_kernel(
+                                        problem,
+                                        segsrc,
+                                        q,
+                                        banks,
+                                        t,
+                                        scratch,
+                                        &exp,
+                                        |slot, v| buf[slot] += v,
+                                    )
+                                }
                             })
                         });
                         track_ns.with(|h| h.record(t0.elapsed().as_nanos() as u64));
@@ -658,12 +888,19 @@ pub fn transport_sweep_with(
         );
     }
     tel.gauge_set("sweep.tally_bytes", strategy.bytes(nf) as f64);
+    // Roofline numerator: modelled memory traffic per segment traversal
+    // (the staged vector kernel trades extra span bytes for half the
+    // transcendental work — see `antmoc_perfmodel::sweep_bytes_per_segment`).
+    tel.gauge_set("sweep.bytes_per_segment", antmoc_perfmodel::sweep_bytes_per_segment(g, vector));
     tel.set_section(
         "sweep_kernel",
         Json::Obj(vec![
             ("tally_mode".into(), Json::Str(strategy.name().into())),
             ("exp_mode".into(), Json::Str(arena.kernel.exp.name().into())),
             ("workers".into(), Json::Uint(workers as u64)),
+            ("kernel".into(), Json::Str(arena.kernel.kernel.name().into())),
+            ("lanes".into(), Json::Uint(arena.kernel.kernel.lanes() as u64)),
+            ("block_kb".into(), Json::Uint(arena.block_bytes() >> 10)),
         ]),
     );
 
@@ -1033,6 +1270,81 @@ mod tests {
         for (i, (x, y)) in old.phi_acc.iter().zip(&new.phi_acc).enumerate() {
             assert_eq!(x.to_bits(), y.to_bits(), "slot {i}: {x} vs {y}");
         }
+    }
+
+    #[test]
+    fn vector_kernel_is_bitwise_identical_to_scalar_on_the_serial_backend() {
+        // The tentpole's conformance claim, at its sharpest: with one
+        // worker and privatized tallies the vector kernel must reproduce
+        // the scalar kernel bit for bit — C5G7's 7 groups exercise the
+        // masked remainder lanes (7 % 4 = 3). The full worker x schedule
+        // x group-count matrix lives in tests/prop_kernel_equivalence.rs.
+        use crate::schedule::SweepSchedule;
+        use crate::tally::{KernelConfig, SweepArena, SweepKernel, TallyMode};
+        let p = vac_problem();
+        let segsrc = SegmentSource::otf();
+        let q: Vec<f64> =
+            (0..p.num_fsrs() * p.num_groups()).map(|i| 0.3 + (i % 11) as f64 * 0.07).collect();
+        let sched = SweepSchedule::natural();
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let run = |kernel: SweepKernel| {
+            let mut arena = SweepArena::new(KernelConfig {
+                tallies: TallyMode::Privatized,
+                kernel,
+                ..Default::default()
+            });
+            let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+            banks.set_incoming(1, 0, &[0.9f32; 7]);
+            pool.install(|| transport_sweep_with(&p, &segsrc, &q, &banks, &sched, &mut arena))
+        };
+        let scalar = run(SweepKernel::Scalar);
+        let vector = run(SweepKernel::Vector);
+        assert_eq!(scalar.segments, vector.segments);
+        assert_eq!(scalar.leakage.to_bits(), vector.leakage.to_bits());
+        for (i, (a, b)) in scalar.phi_acc.iter().zip(&vector.phi_acc).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "slot {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn arena_sweep_reports_bytes_per_segment_and_kernel_keys() {
+        use crate::schedule::SweepSchedule;
+        use crate::tally::{KernelConfig, SweepArena, SweepKernel, TallyMode};
+        let p = vac_problem();
+        let segsrc = SegmentSource::otf();
+        let q = vec![0.5f64; p.num_fsrs() * p.num_groups()];
+        // No global-telemetry reset here: sibling tests share the global
+        // registry, and the report is taken immediately after the sweep so
+        // the last-set gauge/section belong to this run.
+        let tel_run = |kernel: SweepKernel| {
+            let mut arena = SweepArena::new(KernelConfig {
+                tallies: TallyMode::Privatized,
+                kernel,
+                block_bytes: Some(8 << 10),
+                ..Default::default()
+            });
+            let banks = FluxBanks::new(p.num_tracks(), p.num_groups());
+            let _ = transport_sweep_with(
+                &p,
+                &segsrc,
+                &q,
+                &banks,
+                &SweepSchedule::natural(),
+                &mut arena,
+            );
+            Telemetry::global().report()
+        };
+        let r = tel_run(SweepKernel::Vector);
+        let bps = r.gauges["sweep.bytes_per_segment"].last;
+        assert_eq!(bps, antmoc_perfmodel::sweep_bytes_per_segment(p.num_groups(), true));
+        let sec = format!("{:?}", r.sections["sweep_kernel"]);
+        assert!(sec.contains("vector") && sec.contains("lanes"), "section {sec}");
+        assert!(sec.contains("block_kb"), "section {sec}");
+        let r = tel_run(SweepKernel::Scalar);
+        assert_eq!(
+            r.gauges["sweep.bytes_per_segment"].last,
+            antmoc_perfmodel::sweep_bytes_per_segment(p.num_groups(), false)
+        );
     }
 
     #[test]

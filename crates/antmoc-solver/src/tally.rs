@@ -24,10 +24,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use antmoc_perfmodel::TallyAdvice;
+use antmoc_perfmodel::{CacheModel, TallyAdvice};
 
 use crate::exptable::{ExpEval, ExpTable, DEFAULT_TAU_MAX};
-use crate::sweep::SweepOutcome;
+use crate::sweep::{StageBuf, SweepOutcome};
 
 /// How `w * delta psi` contributions are accumulated into FSR flux slots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,8 +71,40 @@ impl ExpMode {
     }
 }
 
+/// Which inner group loop the per-track segment kernel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepKernel {
+    /// The historical scalar group loop (one exp per group per
+    /// traversal).
+    #[default]
+    Scalar,
+    /// [`crate::simd::F64x4`] lanes over the group axis, reading
+    /// group-major attenuation spans staged once per track and reused by
+    /// both directions; remainder groups take a masked tail. Bitwise
+    /// identical to `Scalar` per lane (see DESIGN.md).
+    Vector,
+}
+
+impl SweepKernel {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepKernel::Scalar => "scalar",
+            SweepKernel::Vector => "vector",
+        }
+    }
+
+    /// Lane count the mode processes per group-loop step.
+    pub fn lanes(&self) -> usize {
+        match self {
+            SweepKernel::Scalar => 1,
+            SweepKernel::Vector => crate::simd::LANES,
+        }
+    }
+}
+
 /// Sweep-kernel configuration, parsed from the `[solver]` config section
-/// (`tallies`, `tally_budget_mb`, `exp`, `exp_tolerance`).
+/// (`tallies`, `tally_budget_mb`, `exp`, `exp_tolerance`, `kernel`,
+/// `block_kb`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelConfig {
     pub tallies: TallyMode,
@@ -81,6 +113,11 @@ pub struct KernelConfig {
     pub exp: ExpMode,
     /// Worst-case absolute error of the exp table (`exp = table`).
     pub exp_tolerance: f64,
+    /// Scalar vs group-vectorized segment kernel (`[solver] kernel`).
+    pub kernel: SweepKernel,
+    /// Slot-block bytes for the cache-blocked privatized reduction
+    /// (`[solver] block_kb`); `None` asks the perfmodel cache model.
+    pub block_bytes: Option<u64>,
 }
 
 impl Default for KernelConfig {
@@ -90,6 +127,8 @@ impl Default for KernelConfig {
             tally_budget_bytes: 256 << 20,
             exp: ExpMode::Intrinsic,
             exp_tolerance: 1e-7,
+            kernel: SweepKernel::Scalar,
+            block_bytes: None,
         }
     }
 }
@@ -137,6 +176,8 @@ pub struct SweepArena {
     worker_phi: rayon::WorkerLocal<Vec<f64>>,
     /// Per-worker OTF `(fsr3d, length)` scratch.
     scratch: rayon::WorkerLocal<Vec<(u32, f32)>>,
+    /// Per-worker staged attenuation spans (vector kernel).
+    stage: rayon::WorkerLocal<StageBuf>,
     /// Lazily built exp table (`exp = table`).
     exp_table: Option<ExpTable>,
 }
@@ -149,8 +190,16 @@ impl SweepArena {
             atomic_buf: Vec::new(),
             worker_phi: rayon::WorkerLocal::new(1, |_| Vec::new()),
             scratch: rayon::WorkerLocal::new(1, |_| Vec::new()),
+            stage: rayon::WorkerLocal::new(1, |_| StageBuf::default()),
             exp_table: None,
         }
+    }
+
+    /// Slot-block bytes the blocked privatized reduction uses: the
+    /// explicit `block_kb` override when configured, else the perfmodel
+    /// cache model's advice (half of L1, whole cache lines).
+    pub fn block_bytes(&self) -> u64 {
+        self.kernel.block_bytes.unwrap_or_else(|| CacheModel::default().advise_block_bytes()).max(8)
     }
 
     /// Resolves the tally strategy for a sweep of `fsrs x groups` slots on
@@ -198,6 +247,9 @@ impl SweepArena {
     pub(crate) fn prepare(&mut self, workers: usize, nf: usize, strategy: SweepTallies) {
         if self.scratch.len() < workers {
             self.scratch = rayon::WorkerLocal::new(workers, |_| Vec::new());
+        }
+        if self.stage.len() < workers {
+            self.stage = rayon::WorkerLocal::new(workers, |_| StageBuf::default());
         }
         match strategy {
             SweepTallies::Atomic => {
@@ -249,14 +301,32 @@ impl SweepArena {
         &self.scratch
     }
 
+    pub(crate) fn stage_bufs(&self) -> &rayon::WorkerLocal<StageBuf> {
+        &self.stage
+    }
+
     /// Sums the first `workers` private buffers into `phi` in ascending
     /// worker order — the deterministic reduction that replaces the
-    /// atomics.
+    /// atomics. Cache-blocked: slot blocks (sized by [`Self::block_bytes`])
+    /// iterate outermost and workers innermost, so the destination block
+    /// — the only array revisited, once per worker — stays L1-resident
+    /// across the whole worker pass instead of being streamed `workers`
+    /// times from L2/DRAM. Each slot still receives its adds in ascending
+    /// worker order, so the result is bitwise identical to the unblocked
+    /// reduction.
     pub(crate) fn reduce_privatized(&mut self, phi: &mut [f64], workers: usize) {
-        for w in 0..workers {
-            for (acc, &v) in phi.iter_mut().zip(self.worker_phi.get_mut(w).iter()) {
-                *acc += v;
+        let block = (self.block_bytes() as usize / 8).max(1);
+        let nf = phi.len();
+        let mut start = 0usize;
+        while start < nf {
+            let end = (start + block).min(nf);
+            let dst = &mut phi[start..end];
+            for w in 0..workers {
+                for (acc, &v) in dst.iter_mut().zip(&self.worker_phi.get_mut(w)[start..end]) {
+                    *acc += v;
+                }
             }
+            start = end;
         }
     }
 }
@@ -266,12 +336,72 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_are_auto_intrinsic_with_a_256mib_budget() {
+    fn defaults_are_auto_intrinsic_scalar_with_a_256mib_budget() {
         let k = KernelConfig::default();
         assert_eq!(k.tallies, TallyMode::Auto);
         assert_eq!(k.exp, ExpMode::Intrinsic);
         assert_eq!(k.tally_budget_bytes, 256 << 20);
         assert_eq!(k.exp_tolerance, 1e-7);
+        assert_eq!(k.kernel, SweepKernel::Scalar);
+        assert_eq!(k.block_bytes, None);
+    }
+
+    #[test]
+    fn kernel_modes_report_names_and_lanes() {
+        assert_eq!(SweepKernel::Scalar.name(), "scalar");
+        assert_eq!(SweepKernel::Scalar.lanes(), 1);
+        assert_eq!(SweepKernel::Vector.name(), "vector");
+        assert_eq!(SweepKernel::Vector.lanes(), crate::simd::LANES);
+    }
+
+    #[test]
+    fn block_bytes_honours_the_override_and_the_cache_model() {
+        let arena = SweepArena::new(KernelConfig::default());
+        assert_eq!(
+            arena.block_bytes(),
+            antmoc_perfmodel::CacheModel::default().advise_block_bytes()
+        );
+        let arena =
+            SweepArena::new(KernelConfig { block_bytes: Some(4 << 10), ..Default::default() });
+        assert_eq!(arena.block_bytes(), 4 << 10);
+        // Degenerate overrides are clamped to one slot.
+        let arena = SweepArena::new(KernelConfig { block_bytes: Some(1), ..Default::default() });
+        assert_eq!(arena.block_bytes(), 8);
+    }
+
+    #[test]
+    fn blocked_reduction_is_bitwise_identical_to_unblocked() {
+        // Per slot the add order is still ascending worker order, so any
+        // block size must give exactly the bits of the one-block
+        // reduction — including awkward blocks that straddle the end.
+        let nf = 37;
+        let workers = 3;
+        let fill = |arena: &mut SweepArena| {
+            arena.prepare(workers, nf, SweepTallies::Privatized { workers });
+            for w in 0..workers {
+                for (i, v) in arena.worker_phi.get_mut(w).iter_mut().enumerate() {
+                    // Values chosen so addition order matters in the bits.
+                    *v = (1.0 + i as f64) * 10f64.powi((w as i32 - 1) * 13) + 1e-13;
+                }
+            }
+        };
+        let mut reference = SweepArena::new(KernelConfig {
+            block_bytes: Some((nf * 8) as u64),
+            ..Default::default()
+        });
+        fill(&mut reference);
+        let mut phi_ref = vec![0.0f64; nf];
+        reference.reduce_privatized(&mut phi_ref, workers);
+        for block in [8u64, 16, 24, 56, 1 << 20] {
+            let mut arena =
+                SweepArena::new(KernelConfig { block_bytes: Some(block), ..Default::default() });
+            fill(&mut arena);
+            let mut phi = vec![0.0f64; nf];
+            arena.reduce_privatized(&mut phi, workers);
+            for (i, (a, b)) in phi.iter().zip(&phi_ref).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "block {block}, slot {i}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

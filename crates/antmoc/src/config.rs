@@ -32,6 +32,8 @@
 //! tally_budget_mb = 256    ; privatized-buffer budget for `auto`
 //! exp = intrinsic          ; intrinsic | table
 //! exp_tolerance = 1e-7     ; exp-table worst-case absolute error
+//! kernel = scalar          ; scalar | vector (f64x4 group lanes)
+//! block_kb = 16            ; privatized-reduction slot-block KiB (default: cache model)
 //!
 //! [decomposition]
 //! nx = 2
@@ -66,7 +68,8 @@ use antmoc_input::{CaseKind, CaseSpec};
 use antmoc_quadrature::PolarType;
 use antmoc_solver::device::CuMapping;
 use antmoc_solver::{
-    EigenOptions, ExchangeMode, ExpMode, KernelConfig, ScheduleKind, StorageMode, TallyMode,
+    EigenOptions, ExchangeMode, ExpMode, KernelConfig, ScheduleKind, StorageMode, SweepKernel,
+    TallyMode,
 };
 use antmoc_track::TrackParams;
 
@@ -468,6 +471,29 @@ impl RunConfig {
                 message: format!("exp_tolerance must be > 0, got {}", cfg.kernel.exp_tolerance),
             });
         }
+        if let Some((line, v)) = get("solver", "kernel") {
+            cfg.kernel.kernel = match v.to_lowercase().as_str() {
+                "scalar" => SweepKernel::Scalar,
+                "vector" | "simd" => SweepKernel::Vector,
+                other => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown sweep kernel {other:?}"),
+                    })
+                }
+            };
+        }
+        if let Some((line, _)) = get("solver", "block_kb") {
+            let block_kb: u64 = parse_num(get("solver", "block_kb"), 0)?;
+            if block_kb == 0 {
+                return Err(ConfigError {
+                    line,
+                    message: "block_kb must be >= 1 (omit the key for the cache-model default)"
+                        .into(),
+                });
+            }
+            cfg.kernel.block_bytes = Some(block_kb << 10);
+        }
         if let Some((line, v)) = get("solver", "backend") {
             cfg.backend = match v.to_lowercase().as_str() {
                 "cpu" => BackendConfig::Cpu,
@@ -731,6 +757,23 @@ nz = 2
         assert!(RunConfig::parse("[solver]\ntallies = lockfree\n").is_err());
         assert!(RunConfig::parse("[solver]\nexp = pade\n").is_err());
         assert!(RunConfig::parse("[solver]\nexp_tolerance = 0\n").is_err());
+    }
+
+    #[test]
+    fn kernel_and_block_variants_parse() {
+        let cfg = RunConfig::parse("[solver]\nkernel = vector\nblock_kb = 8\n").unwrap();
+        assert_eq!(cfg.kernel.kernel, SweepKernel::Vector);
+        assert_eq!(cfg.kernel.block_bytes, Some(8 << 10));
+        let cfg = RunConfig::parse("[solver]\nkernel = simd\n").unwrap();
+        assert_eq!(cfg.kernel.kernel, SweepKernel::Vector);
+        // Defaults: scalar kernel, cache-model block sizing.
+        let cfg = RunConfig::parse("[solver]\nkernel = scalar\n").unwrap();
+        assert_eq!(cfg.kernel.kernel, SweepKernel::Scalar);
+        assert_eq!(cfg.kernel.block_bytes, None);
+        assert_eq!(RunConfig::default().kernel.kernel, SweepKernel::Scalar);
+
+        assert!(RunConfig::parse("[solver]\nkernel = avx512\n").is_err());
+        assert!(RunConfig::parse("[solver]\nblock_kb = 0\n").is_err());
     }
 
     #[test]

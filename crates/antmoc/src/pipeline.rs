@@ -133,6 +133,7 @@ pub fn run(config: &RunConfig) -> RunReport {
     );
     tel.set_meta("tallies", config.kernel.tallies.name());
     tel.set_meta("exp", config.kernel.exp.name());
+    tel.set_meta("kernel", config.kernel.kernel.name());
     tel.set_meta_num("decomposition_domains", (nx * ny * nz) as f64);
     tel.set_meta(
         "exchange",

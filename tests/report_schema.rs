@@ -23,6 +23,7 @@ fn representative_report() -> RunReport {
     r.set_meta("schedule", "l3_sorted");
     r.set_meta("tallies", "auto");
     r.set_meta("exp", "intrinsic");
+    r.set_meta("kernel", "vector");
     r.set_meta_num("decomposition_domains", 1.0);
 
     r.spans.insert("eigen".into(), SpanStats { count: 1, total_s: 2.5, min_s: 2.5, max_s: 2.5 });
@@ -48,6 +49,8 @@ fn representative_report() -> RunReport {
 
     r.gauges
         .insert("solver.flux_bank_bytes".into(), GaugeStats { last: 65536.0, high_water: 65536.0 });
+    r.gauges
+        .insert("sweep.bytes_per_segment".into(), GaugeStats { last: 288.0, high_water: 288.0 });
     r.gauges.insert("sweep.load_ratio".into(), GaugeStats { last: 1.125, high_water: 1.25 });
     r.gauges
         .insert("sweep.tally_bytes".into(), GaugeStats { last: 389256.0, high_water: 1557024.0 });
@@ -115,6 +118,9 @@ fn representative_report() -> RunReport {
             ("tally_mode".into(), Json::Str("privatized".into())),
             ("exp_mode".into(), Json::Str("intrinsic".into())),
             ("workers".into(), Json::Uint(4)),
+            ("kernel".into(), Json::Str("vector".into())),
+            ("lanes".into(), Json::Uint(4)),
+            ("block_kb".into(), Json::Uint(16)),
         ]),
     );
     r.set_section("balance", Json::Obj(vec![("k_balance".into(), Json::Num(1.18))]));
@@ -199,6 +205,12 @@ fn golden_file_round_trips_losslessly() {
     assert_eq!(kernel.get("tally_mode").and_then(Json::as_str), Some("privatized"));
     assert_eq!(kernel.get("exp_mode").and_then(Json::as_str), Some("intrinsic"));
     assert_eq!(kernel.get("workers").and_then(Json::as_u64), Some(4));
+    // The vectorized-kernel keys: which sweep kernel ran, its group-lane
+    // width, and the cache-block size the tally reduction used.
+    assert_eq!(kernel.get("kernel").and_then(Json::as_str), Some("vector"));
+    assert_eq!(kernel.get("lanes").and_then(Json::as_u64), Some(4));
+    assert_eq!(kernel.get("block_kb").and_then(Json::as_u64), Some(16));
+    assert!(parsed.gauges.contains_key("sweep.bytes_per_segment"));
     // The fault-injection keys: counters plus the `fault` and `rebalance`
     // sections with their event structure.
     assert_eq!(parsed.counter("comm.retries"), 5);
