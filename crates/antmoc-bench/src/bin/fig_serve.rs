@@ -1,0 +1,188 @@
+//! Solve-service figure: what the multi-tenant service's artifact cache
+//! and admission control buy — and that neither costs correctness.
+//!
+//! Three experiments on a quickstart-class C5G7 eigenvalue case:
+//!
+//! * **identity** — N concurrent service jobs of the same configuration
+//!   must each produce a report **bitwise identical** (k_eff, pin rates,
+//!   per-material flux, iteration count) to a serial one-shot
+//!   [`antmoc::run`];
+//! * **warm cache** — the cold job pays the full geometry + tracking
+//!   build; warm jobs must get their setup at least [`MIN_WARM_SPEEDUP`]x
+//!   faster out of the content cache, and the warm leg's telemetry must
+//!   show `cache.hit` > 0 (CI re-asserts this with
+//!   `report-diff --require-counter cache.hit`);
+//! * **admission** — with the device pool sized for ~1.5 jobs, a 4-job
+//!   burst must serialize: the in-flight high-water mark never exceeds
+//!   the pool, and the wait shows up in `serve.queue_wait_ns`.
+//!
+//! The warm-leg telemetry artifact lands in `results/` for CI.
+//!
+//! ```text
+//! cargo run --release -p antmoc-bench --bin fig_serve
+//! ```
+
+use std::process::ExitCode;
+
+use antmoc::RunConfig;
+use antmoc_serve::{report_signature, ServeConfig, SolveRequest, SolveService};
+use antmoc_telemetry::Telemetry;
+
+/// Gate: cold setup time over mean warm setup time.
+const MIN_WARM_SPEEDUP: f64 = 2.0;
+/// Concurrent jobs on the warm and admission legs.
+const JOBS: usize = 4;
+
+/// The quickstart-class case: coarse C5G7, loose tolerance — big enough
+/// that the setup stage is measurable, small enough for CI.
+fn config_text() -> String {
+    "[model]\naxial_dz = 64.26\n\
+     [tracks]\nnum_azim = 4\nradial_spacing = 1.8\nnum_polar = 2\naxial_spacing = 60.0\n\
+     [solver]\ntolerance = 1e-3\nmax_iterations = 60\nmode = otf\nbackend = cpu\n"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    println!("# Solve service: {JOBS} concurrent jobs vs serial one-shot runs\n");
+    let config = RunConfig::parse(&config_text()).expect("quickstart config parses");
+    let mut ok = true;
+
+    // Reference: the serial one-shot run the service must reproduce.
+    let reference = report_signature(&antmoc::run(&config));
+
+    // Legs 1+2 — cold build, then a warm concurrent burst, one service.
+    Telemetry::global().reset();
+    let service = SolveService::new(ServeConfig { workers: JOBS, ..Default::default() });
+    let cold = service.submit(SolveRequest::Ini(config_text())).expect("submit cold").wait();
+    let cold_stats = cold.stats.clone();
+    if cold_stats.cache_hit {
+        eprintln!("fig_serve: FAIL — first job of a fresh service reported a cache hit");
+        ok = false;
+    }
+    match &cold.outcome {
+        Ok(report) if report_signature(report) == reference => {}
+        Ok(_) => {
+            eprintln!("fig_serve: FAIL — cold job diverged from the serial run");
+            ok = false;
+        }
+        Err(e) => {
+            eprintln!("fig_serve: FAIL — cold job errored: {e}");
+            ok = false;
+        }
+    }
+
+    let handles: Vec<_> = (0..JOBS)
+        .map(|_| service.submit(SolveRequest::Ini(config_text())).expect("submit warm"))
+        .collect();
+    let mut warm_setup = Vec::new();
+    for h in handles {
+        let r = h.wait();
+        if !r.stats.cache_hit {
+            eprintln!("fig_serve: FAIL — warm job {} missed the cache", r.job_id);
+            ok = false;
+        }
+        warm_setup.push(r.stats.setup_s);
+        match &r.outcome {
+            Ok(report) if report_signature(report) == reference => {}
+            Ok(_) => {
+                eprintln!(
+                    "fig_serve: FAIL — warm job {} is not bitwise identical to the serial run",
+                    r.job_id
+                );
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("fig_serve: FAIL — warm job {} errored: {e}", r.job_id);
+                ok = false;
+            }
+        }
+    }
+    service.shutdown();
+
+    let warm_report = Telemetry::global().report();
+    antmoc_bench::write_telemetry_artifact("fig_serve_warm");
+    let hits = warm_report.counter("cache.hit");
+    let misses = warm_report.counter("cache.miss");
+    let mean_warm = warm_setup.iter().sum::<f64>() / warm_setup.len() as f64;
+    let speedup = cold_stats.setup_s / mean_warm.max(1e-9);
+
+    println!("| leg | jobs | cache | setup time |");
+    println!("|---|---|---|---|");
+    println!("| cold | 1 | miss | {:.1} ms |", cold_stats.setup_s * 1e3);
+    println!(
+        "| warm | {JOBS} | {hits} hits / {misses} misses | {:.3} ms mean ({speedup:.0}x) |",
+        mean_warm * 1e3
+    );
+
+    if hits == 0 {
+        eprintln!("fig_serve: FAIL — warm leg recorded no cache.hit");
+        ok = false;
+    }
+    if speedup < MIN_WARM_SPEEDUP {
+        eprintln!(
+            "fig_serve: FAIL — warm setup only {speedup:.2}x faster than cold \
+             (< {MIN_WARM_SPEEDUP}x)"
+        );
+        ok = false;
+    }
+
+    // Leg 3 — admission: a pool sized for ~1.5 jobs must serialize a
+    // 4-job burst without ever overcommitting.
+    Telemetry::global().reset();
+    let pool = cold_stats.footprint_bytes + cold_stats.footprint_bytes / 2;
+    let gated = SolveService::new(ServeConfig {
+        workers: JOBS,
+        device_pool_bytes: pool,
+        ..Default::default()
+    });
+    let handles: Vec<_> = (0..JOBS)
+        .map(|_| gated.submit(SolveRequest::Ini(config_text())).expect("submit gated"))
+        .collect();
+    let mut queued = 0usize;
+    for h in handles {
+        let r = h.wait();
+        if r.stats.queue_wait_s > 0.0 {
+            queued += 1;
+        }
+        match &r.outcome {
+            Ok(report) if report_signature(report) == reference => {}
+            _ => {
+                eprintln!("fig_serve: FAIL — admission-gated job {} diverged", r.job_id);
+                ok = false;
+            }
+        }
+    }
+    let peak = gated.peak_inflight_bytes();
+    gated.shutdown();
+    let waits =
+        Telemetry::global().report().histograms.get("serve.queue_wait_ns").map_or(0, |h| h.count);
+
+    println!(
+        "| gated | {JOBS} | pool {} | peak {} ({queued} queued, {waits} waits recorded) |",
+        antmoc_bench::human_bytes(pool),
+        antmoc_bench::human_bytes(peak),
+    );
+
+    if peak > pool {
+        eprintln!("fig_serve: FAIL — admitted {peak} bytes into a {pool}-byte pool");
+        ok = false;
+    }
+    if peak < cold_stats.footprint_bytes {
+        eprintln!("fig_serve: FAIL — admission never admitted a full job ({peak} bytes)");
+        ok = false;
+    }
+    if waits == 0 {
+        eprintln!("fig_serve: FAIL — no serve.queue_wait_ns samples recorded");
+        ok = false;
+    }
+
+    if ok {
+        println!(
+            "\nfig_serve: PASS ({JOBS} concurrent jobs bitwise identical to serial, warm setup \
+             {speedup:.0}x faster, admission peak within the pool)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -30,7 +30,10 @@
 //! carries gauge NAME with a positive high-water mark — CI uses it to
 //! insist a pipelined-exchange run actually overlapped
 //! (`comm.overlap_ratio` present and > 0) rather than silently falling
-//! back to synchronous behaviour.
+//! back to synchronous behaviour. `--require-counter NAME` is the same
+//! demand for counters: the serve-smoke job asserts the warm leg of the
+//! solve-service bench recorded `cache.hit` > 0, i.e. the artifact cache
+//! actually engaged instead of rebuilding every setup.
 
 use std::process::ExitCode;
 
@@ -76,6 +79,10 @@ struct Thresholds {
     /// recorded a nonzero `comm.overlap_ratio` — even when the gauge is
     /// noisy-exempt from magnitude comparison.
     require_gauges: Vec<String>,
+    /// Counters that must exist in the *fresh* report with a positive
+    /// value (`--require-counter`, repeatable) — e.g. `cache.hit` on the
+    /// warm leg of the solve-service bench.
+    require_counters: Vec<String>,
 }
 
 impl Default for Thresholds {
@@ -87,6 +94,7 @@ impl Default for Thresholds {
             iter_tol: 0.5,
             allow_new: false,
             require_gauges: Vec::new(),
+            require_counters: Vec::new(),
         }
     }
 }
@@ -202,6 +210,16 @@ fn diff_reports(baseline: &RunReport, fresh: &RunReport, t: &Thresholds) -> Vec<
         }
     }
 
+    // Required counters: same presence-and-positivity contract as
+    // required gauges.
+    for name in &t.require_counters {
+        match fresh.counters.get(name) {
+            None => violations.push(format!("required counter {name}: missing from fresh report")),
+            Some(0) => violations.push(format!("required counter {name}: value 0 is not positive")),
+            Some(_) => {}
+        }
+    }
+
     // Convergence series: iteration counts within tolerance (an empty
     // series on one side only is structural breakage).
     let (na, nb) = (baseline.iterations.len(), fresh.iterations.len());
@@ -255,7 +273,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: report-diff <baseline.json> <fresh.json> \
          [--counter-tol R] [--gauge-tol R] [--hist-ratio R] [--iter-tol R] \
-         [--allow-new-sections] [--require-gauge NAME]...\n\
+         [--allow-new-sections] [--require-gauge NAME]... [--require-counter NAME]...\n\
          \x20      report-diff --self <report.json>\n\
          \x20      report-diff --validate-trace <trace.json>"
     );
@@ -286,6 +304,13 @@ fn main() -> ExitCode {
                 Some(name) => t.require_gauges.push(name),
                 None => {
                     eprintln!("report-diff: --require-gauge needs a gauge name");
+                    return usage();
+                }
+            },
+            "--require-counter" => match take(&mut i) {
+                Some(name) => t.require_counters.push(name),
+                None => {
+                    eprintln!("report-diff: --require-counter needs a counter name");
                     return usage();
                 }
             },
@@ -498,6 +523,37 @@ mod tests {
         );
         let t =
             Thresholds { require_gauges: vec!["comm.overlap_ratio".into()], ..Default::default() };
+        let v = diff_reports(&a, &b, &t);
+        assert!(v.iter().any(|m| m.contains("missing from fresh report")), "{v:?}");
+    }
+
+    #[test]
+    fn required_counter_missing_or_zero_is_a_violation() {
+        let a = report_with(1_000_000, 30);
+        let mut b = report_with(1_000_000, 30);
+        let t = Thresholds { require_counters: vec!["cache.hit".into()], ..Default::default() };
+        let v = diff_reports(&a, &b, &t);
+        assert!(v.iter().any(|m| m.contains("required counter cache.hit: missing")), "{v:?}");
+        b.counters.insert("cache.hit".into(), 0);
+        let v = diff_reports(&a, &b, &t);
+        assert!(v.iter().any(|m| m.contains("not positive")), "{v:?}");
+        b.counters.insert("cache.hit".into(), 3);
+        // The fresh-only counter trips the symmetric key-set check but
+        // not the requirement; bootstrap mode isolates the latter.
+        let bootstrap = Thresholds {
+            allow_new: true,
+            require_counters: vec!["cache.hit".into()],
+            ..Default::default()
+        };
+        assert!(diff_reports(&a, &b, &bootstrap).is_empty());
+    }
+
+    #[test]
+    fn required_counter_checks_the_fresh_side_only() {
+        let mut a = report_with(1_000_000, 30);
+        let b = report_with(1_000_000, 30);
+        a.counters.insert("cache.hit".into(), 7);
+        let t = Thresholds { require_counters: vec!["cache.hit".into()], ..Default::default() };
         let v = diff_reports(&a, &b, &t);
         assert!(v.iter().any(|m| m.contains("missing from fresh report")), "{v:?}");
     }

@@ -91,6 +91,31 @@ impl<'a> CpuSweeper<'a> {
     ) -> Self {
         Self { segsrc, schedule, arena: SweepArena::new(kernel) }
     }
+
+    /// A sweeper running on a pooled arena (cross-job buffer reuse). The
+    /// arena is [`SweepArena::reconfigure`]d to `kernel` first, so a pool
+    /// may hand over an arena that last served a different problem shape
+    /// or kernel configuration; `prepare` re-sizes and re-zeroes per
+    /// sweep.
+    pub fn with_arena(
+        segsrc: &'a SegmentSource,
+        schedule: SweepSchedule,
+        kernel: KernelConfig,
+        mut arena: SweepArena,
+    ) -> Self {
+        arena.reconfigure(kernel);
+        Self { segsrc, schedule, arena }
+    }
+
+    /// Releases the arena for return to a pool once the solve is done.
+    pub fn into_arena(self) -> SweepArena {
+        self.arena
+    }
+
+    /// The arena, e.g. to preload a cached exp table before solving.
+    pub fn arena_mut(&mut self) -> &mut SweepArena {
+        &mut self.arena
+    }
 }
 
 impl Sweeper for CpuSweeper<'_> {

@@ -86,6 +86,12 @@ impl SegmentSource {
     pub fn is_resident(&self, id: Track3dId) -> bool {
         self.store.as_ref().is_some_and(|s| s.of(id).is_some())
     }
+
+    /// The explicit store, when one exists — identity tests compare
+    /// cached stores segment-by-segment against freshly traced ones.
+    pub fn store(&self) -> Option<&SegmentStore3d> {
+        self.store.as_ref()
+    }
 }
 
 /// Double-buffered boundary angular flux (single precision, as in the

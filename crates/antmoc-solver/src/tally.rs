@@ -180,6 +180,10 @@ pub struct SweepArena {
     stage: rayon::WorkerLocal<StageBuf>,
     /// Lazily built exp table (`exp = table`).
     exp_table: Option<ExpTable>,
+    /// The `exp_tolerance` the resident table was built for; `prepare`
+    /// rebuilds the table whenever the configured tolerance drifts from
+    /// this (arena reuse across jobs with different kernel configs).
+    exp_built_tol: Option<f64>,
 }
 
 impl SweepArena {
@@ -192,7 +196,28 @@ impl SweepArena {
             scratch: rayon::WorkerLocal::new(1, |_| Vec::new()),
             stage: rayon::WorkerLocal::new(1, |_| StageBuf::default()),
             exp_table: None,
+            exp_built_tol: None,
         }
+    }
+
+    /// Re-points a pooled arena at a new kernel configuration before it
+    /// serves another job. Every per-sweep buffer is already re-sized and
+    /// re-zeroed by [`Self::prepare`] (problem shapes may differ between
+    /// jobs); the exp table is the one piece of cross-sweep state a config
+    /// change can invalidate, and `prepare` rebuilds it whenever the
+    /// configured tolerance no longer matches the resident table.
+    pub fn reconfigure(&mut self, kernel: KernelConfig) {
+        self.kernel = kernel;
+    }
+
+    /// Installs a pre-built exp table (e.g. a cached one shared across
+    /// jobs) so the first `prepare` does not have to build it. The table
+    /// must have been built with [`ExpTable::with_tolerance`] at this
+    /// arena's configured `exp_tolerance`; a mismatched tolerance is
+    /// rebuilt on the next `prepare` instead of trusted.
+    pub fn preload_exp_table(&mut self, table: ExpTable) {
+        self.exp_table = Some(table);
+        self.exp_built_tol = Some(self.kernel.exp_tolerance);
     }
 
     /// Slot-block bytes the blocked privatized reduction uses: the
@@ -272,9 +297,12 @@ impl SweepArena {
                 }
             }
         }
-        if self.kernel.exp == ExpMode::Table && self.exp_table.is_none() {
+        if self.kernel.exp == ExpMode::Table
+            && (self.exp_table.is_none() || self.exp_built_tol != Some(self.kernel.exp_tolerance))
+        {
             self.exp_table =
                 Some(ExpTable::with_tolerance(DEFAULT_TAU_MAX, self.kernel.exp_tolerance));
+            self.exp_built_tol = Some(self.kernel.exp_tolerance);
         }
     }
 
@@ -453,6 +481,103 @@ mod tests {
         assert!(phi2.capacity() >= cap, "recycled vector should be reused");
         assert_eq!(phi2.len(), 8);
         assert!(phi2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn arena_reuse_across_shapes_resizes_and_rezeros() {
+        // Cross-job pooling reuses one arena for problems of different
+        // sizes and tally strategies; every prepare must leave exactly the
+        // requested shape, zeroed, regardless of what the previous job did.
+        let mut arena = SweepArena::new(KernelConfig::default());
+
+        // Job 1: 4 workers, 64 slots, privatized — then dirty the buffers.
+        arena.prepare(4, 64, SweepTallies::Privatized { workers: 4 });
+        for w in 0..4 {
+            for v in arena.worker_phi.get_mut(w).iter_mut() {
+                *v = f64::NAN;
+            }
+        }
+
+        // Job 2: smaller shape. Buffers must shrink to 16 slots and be
+        // zeroed — stale NaNs from the larger job must not leak through.
+        arena.prepare(2, 16, SweepTallies::Privatized { workers: 2 });
+        for w in 0..2 {
+            let buf = arena.worker_phi.get_mut(w);
+            assert_eq!(buf.len(), 16);
+            assert!(buf.iter().all(|&x| x == 0.0), "stale data survived reuse");
+        }
+        let mut phi = vec![0.0f64; 16];
+        arena.worker_phi.get_mut(0)[3] = 1.5;
+        arena.worker_phi.get_mut(1)[3] = 2.5;
+        arena.reduce_privatized(&mut phi, 2);
+        assert_eq!(phi[3], 4.0);
+
+        // Job 3: switch to the atomic strategy at yet another shape.
+        arena.prepare(1, 5, SweepTallies::Atomic);
+        assert_eq!(arena.atomic_slots().len(), 5);
+        assert!(arena.atomic_slots().iter().all(|s| s.load(Ordering::Relaxed) == 0));
+
+        // Job 4: atomic again at a different size, after dirtying.
+        arena.atomic_slots()[0].store(f64::to_bits(7.0), Ordering::Relaxed);
+        arena.prepare(1, 9, SweepTallies::Atomic);
+        assert_eq!(arena.atomic_slots().len(), 9);
+        assert!(arena.atomic_slots().iter().all(|s| s.load(Ordering::Relaxed) == 0));
+    }
+
+    #[test]
+    fn reconfigure_rebuilds_the_exp_table_when_tolerance_changes() {
+        let mut arena = SweepArena::new(KernelConfig {
+            exp: ExpMode::Table,
+            exp_tolerance: 1e-4,
+            ..KernelConfig::default()
+        });
+        arena.prepare(1, 4, SweepTallies::Atomic);
+        let coarse_len = arena.exp_table.as_ref().expect("table built").len();
+
+        // Same tolerance: the resident table is kept.
+        arena.reconfigure(KernelConfig {
+            exp: ExpMode::Table,
+            exp_tolerance: 1e-4,
+            ..KernelConfig::default()
+        });
+        arena.prepare(1, 4, SweepTallies::Atomic);
+        assert_eq!(arena.exp_table.as_ref().unwrap().len(), coarse_len);
+
+        // Tighter tolerance: the stale table would silently degrade
+        // accuracy; prepare must rebuild it (more nodes).
+        arena.reconfigure(KernelConfig {
+            exp: ExpMode::Table,
+            exp_tolerance: 1e-8,
+            ..KernelConfig::default()
+        });
+        arena.prepare(1, 4, SweepTallies::Atomic);
+        let fine_len = arena.exp_table.as_ref().unwrap().len();
+        assert!(fine_len > coarse_len, "table not rebuilt: {fine_len} vs {coarse_len}");
+    }
+
+    #[test]
+    fn preloaded_exp_table_is_used_and_mismatches_are_rebuilt() {
+        use crate::exptable::DEFAULT_TAU_MAX;
+        let mut arena = SweepArena::new(KernelConfig {
+            exp: ExpMode::Table,
+            exp_tolerance: 1e-6,
+            ..KernelConfig::default()
+        });
+        let table = ExpTable::with_tolerance(DEFAULT_TAU_MAX, 1e-6);
+        let len = table.len();
+        arena.preload_exp_table(table);
+        arena.prepare(1, 4, SweepTallies::Atomic);
+        assert_eq!(arena.exp_table.as_ref().unwrap().len(), len, "preloaded table replaced");
+
+        // A preload at the wrong tolerance is not trusted across a
+        // reconfigure: prepare rebuilds.
+        arena.reconfigure(KernelConfig {
+            exp: ExpMode::Table,
+            exp_tolerance: 1e-9,
+            ..KernelConfig::default()
+        });
+        arena.prepare(1, 4, SweepTallies::Atomic);
+        assert!(arena.exp_table.as_ref().unwrap().len() > len);
     }
 
     #[test]

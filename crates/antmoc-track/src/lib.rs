@@ -50,6 +50,24 @@ pub struct TrackParams {
     pub polar_type: PolarType,
 }
 
+impl TrackParams {
+    /// A canonical text rendering of every field for content-addressed
+    /// cache keys: floats are written as exact bit patterns, so the
+    /// fragment is stable across runs and platforms and two parameter
+    /// sets produce the same fragment iff they generate the same track
+    /// laydown.
+    pub fn cache_key_fragment(&self) -> String {
+        format!(
+            "azim={},rs={:016x},polar={},as={:016x},pt={:?}",
+            self.num_azim,
+            self.radial_spacing.to_bits(),
+            self.num_polar,
+            self.axial_spacing.to_bits(),
+            self.polar_type,
+        )
+    }
+}
+
 impl Default for TrackParams {
     fn default() -> Self {
         Self {
@@ -138,5 +156,23 @@ mod tests {
         assert!(layout.num_3d_tracks() > layout.num_2d_tracks());
         assert_eq!(layout.fsr3d.num_radial(), m.geometry.num_fsrs());
         assert_eq!(layout.fsr3d.num_axial(), m.axial.num_cells());
+    }
+
+    #[test]
+    fn cache_key_fragment_is_exact_and_field_sensitive() {
+        let base = TrackParams::default();
+        assert_eq!(base.cache_key_fragment(), TrackParams::default().cache_key_fragment());
+        // Each field flips the fragment — including float changes far
+        // below any formatting precision.
+        let variants = [
+            TrackParams { num_azim: 8, ..base.clone() },
+            TrackParams { radial_spacing: base.radial_spacing + 1e-15, ..base.clone() },
+            TrackParams { num_polar: 2, ..base.clone() },
+            TrackParams { axial_spacing: base.axial_spacing * (1.0 + 1e-15), ..base.clone() },
+            TrackParams { polar_type: PolarType::EqualWeight, ..base.clone() },
+        ];
+        for v in &variants {
+            assert_ne!(v.cache_key_fragment(), base.cache_key_fragment(), "{v:?}");
+        }
     }
 }

@@ -16,8 +16,8 @@ use antmoc_solver::decomp::{DecompSpec, Decomposition};
 use antmoc_solver::device::DeviceSolver;
 use antmoc_solver::fixed::{solve_fixed_source, FixedSourceOptions};
 use antmoc_solver::{
-    fission_rates, solve_cluster_recovering, solve_eigenvalue, CpuSweeper, Problem,
-    RecoveryOptions, ScheduleKind, SegmentSource, StorageMode, SweepSchedule,
+    fission_rates, solve_cluster_recovering, solve_eigenvalue, CpuSweeper, ExpMode, Problem,
+    RecoveryOptions, ScheduleKind, SegmentSource, StorageMode, SweepArena, SweepSchedule,
 };
 use antmoc_xs::MaterialLibrary;
 
@@ -33,33 +33,57 @@ pub enum BuiltModel {
 }
 
 impl BuiltModel {
-    fn geometry(&self) -> &Geometry {
+    pub fn geometry(&self) -> &Geometry {
         match self {
             BuiltModel::C5g7(m) => &m.geometry,
             BuiltModel::Lattice(m) => &m.geometry,
         }
     }
 
-    fn axial(&self) -> &AxialModel {
+    pub fn axial(&self) -> &AxialModel {
         match self {
             BuiltModel::C5g7(m) => &m.axial,
             BuiltModel::Lattice(m) => &m.axial,
         }
     }
 
-    fn library(&self) -> &MaterialLibrary {
+    pub fn library(&self) -> &MaterialLibrary {
         match self {
             BuiltModel::C5g7(m) => &m.library,
             BuiltModel::Lattice(m) => &m.library,
         }
     }
 
-    fn pin_of_fsr(&self, radial: FsrId) -> Option<PinAddress> {
+    pub fn pin_of_fsr(&self, radial: FsrId) -> Option<PinAddress> {
         match self {
             BuiltModel::C5g7(m) => m.pin_of_fsr(radial),
             BuiltModel::Lattice(m) => m.pin_of_fsr(radial),
         }
     }
+}
+
+/// The immutable products of the setup stages (geometry construction,
+/// track laydown + segmentation, exp-table build): everything a solve
+/// consumes read-only. One `SolveSetup` can be shared — e.g. behind an
+/// `Arc` in `antmoc-serve`'s artifact cache — by any number of solves of
+/// configurations that agree on the cache-key-relevant fields (model,
+/// track quadrature, storage mode, exp config); all mutable solver state
+/// lives per job in the [`antmoc_solver::SweepArena`] and the eigen
+/// loop's own vectors.
+pub struct SolveSetup {
+    pub model: BuiltModel,
+    pub problem: Problem,
+    /// Segment access per the configured storage mode (the serial
+    /// backend ignores it and always traces on the fly).
+    pub segsrc: SegmentSource,
+    /// Pre-built exp table for `exp = table` CPU runs; solvers preload it
+    /// into their arena instead of rebuilding per job.
+    pub exp_table: Option<antmoc_solver::ExpTable>,
+    /// Wall-clock seconds the geometry stage took when this setup was
+    /// built (reported verbatim by solves reusing the setup).
+    pub geometry_s: f64,
+    /// Wall-clock seconds of track generation + ray tracing at build time.
+    pub tracking_s: f64,
 }
 
 /// Wall-clock seconds per pipeline stage.
@@ -143,6 +167,44 @@ pub fn run(config: &RunConfig) -> RunReport {
         },
     );
 
+    if nx * ny * nz == 1 {
+        let setup = build_setup(config);
+        run_with_setup(config, &setup)
+    } else {
+        // Stage 2: geometry construction (decomposed runs keep the
+        // inline path; the setup/solve split is a single-domain concern).
+        let t0 = Instant::now();
+        let model = {
+            let _s = tel.span("geometry");
+            match &config.model {
+                ModelSpec::C5g7(opts) => C5g7::build(opts.clone()),
+                ModelSpec::Lattice(_) => {
+                    unreachable!("RunConfig::from_case rejects decomposed declarative cases")
+                }
+            }
+        };
+        let geometry_s = t0.elapsed().as_secs_f64();
+        run_decomposed(config, model, geometry_s)
+    }
+}
+
+/// Runs the setup stages (2-3) for a single-domain configuration and
+/// returns their immutable products: geometry construction, track
+/// generation + ray tracing, the segment store per the storage mode, and
+/// the exp table for `exp = table` CPU runs.
+///
+/// This is the expensive, reusable half of [`run`]: everything here
+/// depends only on the cache-key-relevant configuration fields (model,
+/// tracks, storage mode, exp config), never on solver state, so
+/// `antmoc-serve` memoizes the result by content hash and shares it
+/// across concurrent jobs.
+///
+/// Panics if the configuration is decomposed — setup sharing is a
+/// single-domain concern (decomposed runs go through [`run`]).
+pub fn build_setup(config: &RunConfig) -> SolveSetup {
+    assert_eq!(config.decomposition, (1, 1, 1), "build_setup is single-domain only");
+    let tel = antmoc_telemetry::Telemetry::global();
+
     // Stage 2: geometry construction.
     let t0 = Instant::now();
     let model = {
@@ -156,43 +218,81 @@ pub fn run(config: &RunConfig) -> RunReport {
     };
     let geometry_s = t0.elapsed().as_secs_f64();
 
-    if nx * ny * nz == 1 {
-        run_single(config, model, geometry_s)
-    } else {
-        let BuiltModel::C5g7(model) = model else {
-            unreachable!("RunConfig::from_case rejects decomposed declarative cases")
-        };
-        run_decomposed(config, model, geometry_s)
-    }
+    // Stage 3: track generation and ray tracing, plus the other
+    // immutable solve inputs (segment store, exp table).
+    let t = Instant::now();
+    let _s = tel.span("tracking");
+    let problem = Problem::build(
+        model.geometry().clone(),
+        model.axial().clone(),
+        model.library(),
+        config.tracks.clone(),
+    );
+    let segsrc = match &config.backend {
+        BackendConfig::Cpu => segment_source(config, &problem),
+        // The serial backend always traces on the fly (storage modes are
+        // a parallel/device concern) and the device solver builds its own
+        // resident store from the problem.
+        BackendConfig::CpuSerial | BackendConfig::Device { .. } => SegmentSource::otf(),
+    };
+    let exp_table = (config.kernel.exp == ExpMode::Table
+        && matches!(config.backend, BackendConfig::Cpu))
+    .then(|| {
+        antmoc_solver::ExpTable::with_tolerance(
+            antmoc_solver::exptable::DEFAULT_TAU_MAX,
+            config.kernel.exp_tolerance,
+        )
+    });
+    let tracking_s = t.elapsed().as_secs_f64();
+
+    SolveSetup { model, problem, segsrc, exp_table, geometry_s, tracking_s }
 }
 
-fn run_single(config: &RunConfig, model: BuiltModel, geometry_s: f64) -> RunReport {
-    let tel = antmoc_telemetry::Telemetry::global();
+/// Runs the solve stages (4-5) against a prepared [`SolveSetup`] with a
+/// fresh arena. `run` composes [`build_setup`] and this; `antmoc-serve`
+/// calls them separately so warm jobs skip straight here.
+pub fn run_with_setup(config: &RunConfig, setup: &SolveSetup) -> RunReport {
+    let (report, _arena) =
+        run_with_setup_arena(config, setup, SweepArena::new(config.kernel.clone()));
+    report
+}
 
-    // Stage 3: track generation and ray tracing.
-    let t = Instant::now();
-    let problem = {
-        let _s = tel.span("tracking");
-        Problem::build(
-            model.geometry().clone(),
-            model.axial().clone(),
-            model.library(),
-            config.tracks.clone(),
-        )
-    };
-    let tracking_s = t.elapsed().as_secs_f64();
+/// [`run_with_setup`] with an explicit (possibly pooled) [`SweepArena`].
+/// The arena is reconfigured to this run's kernel settings and handed
+/// back after the solve so callers can recycle its allocations across
+/// jobs; backends that do not use an arena (serial, device) return it
+/// untouched.
+pub fn run_with_setup_arena(
+    config: &RunConfig,
+    setup: &SolveSetup,
+    arena: SweepArena,
+) -> (RunReport, SweepArena) {
+    let tel = antmoc_telemetry::Telemetry::global();
+    let problem = &setup.problem;
+    let model = &setup.model;
 
     let fixed_source =
         matches!(&config.model, ModelSpec::Lattice(s) if s.kind == CaseKind::FixedSource);
 
+    // Assemble a CPU sweeper over the shared setup and the per-job arena.
+    let make_sweeper = |arena: SweepArena| {
+        let schedule = SweepSchedule::for_problem(config.schedule, problem);
+        let mut sweeper =
+            CpuSweeper::with_arena(&setup.segsrc, schedule, config.kernel.clone(), arena);
+        if let Some(table) = &setup.exp_table {
+            sweeper.arena_mut().preload_exp_table(table.clone());
+        }
+        sweeper
+    };
+
     // Stage 4: transport solving.
     let t = Instant::now();
     let transport_span = tel.span("transport");
-    let (keff, iterations, converged, phi) = if fixed_source {
-        let BuiltModel::Lattice(lowered) = &model else {
+    let (keff, iterations, converged, phi, arena) = if fixed_source {
+        let BuiltModel::Lattice(lowered) = model else {
             unreachable!("fixed-source runs come from declarative cases")
         };
-        let external = external_source(&problem, lowered);
+        let external = external_source(problem, lowered);
         let opts = FixedSourceOptions {
             tolerance: config.eigen.tolerance,
             max_iterations: config.eigen.max_iterations,
@@ -202,46 +302,44 @@ fn run_single(config: &RunConfig, model: BuiltModel, geometry_s: f64) -> RunRepo
         // by `RunConfig::from_case`); the serial backend traces on the
         // fly, the parallel one honours the storage mode like the
         // eigenvalue path.
-        let result = match &config.backend {
+        let (result, arena) = match &config.backend {
             BackendConfig::Cpu => {
-                let segsrc = segment_source(config, &problem);
-                let schedule = SweepSchedule::for_problem(config.schedule, &problem);
-                let mut sweeper = CpuSweeper::with_kernel(&segsrc, schedule, config.kernel.clone());
-                solve_fixed_source(&problem, &mut sweeper, &external, &opts)
+                let mut sweeper = make_sweeper(arena);
+                let r = solve_fixed_source(problem, &mut sweeper, &external, &opts);
+                (r, sweeper.into_arena())
             }
             BackendConfig::CpuSerial => {
                 let segsrc = SegmentSource::otf();
                 let mut sweeper = SerialSweeper { segsrc: &segsrc };
-                solve_fixed_source(&problem, &mut sweeper, &external, &opts)
+                (solve_fixed_source(problem, &mut sweeper, &external, &opts), arena)
             }
             BackendConfig::Device { .. } => {
                 unreachable!("RunConfig::from_case rejects fixed-source device runs")
             }
         };
-        (0.0, result.iterations, result.converged, result.phi)
+        (0.0, result.iterations, result.converged, result.phi, arena)
     } else {
-        let result = match &config.backend {
+        let (result, arena) = match &config.backend {
             BackendConfig::Cpu => {
-                let segsrc = segment_source(config, &problem);
-                let schedule = SweepSchedule::for_problem(config.schedule, &problem);
-                let mut sweeper = CpuSweeper::with_kernel(&segsrc, schedule, config.kernel.clone());
-                solve_eigenvalue(&problem, &mut sweeper, &config.eigen)
+                let mut sweeper = make_sweeper(arena);
+                let r = solve_eigenvalue(problem, &mut sweeper, &config.eigen);
+                (r, sweeper.into_arena())
             }
             BackendConfig::CpuSerial => {
                 // The serial backend always traces on the fly; storage
                 // modes are a parallel/device concern.
                 let segsrc = SegmentSource::otf();
                 let mut sweeper = SerialSweeper { segsrc: &segsrc };
-                solve_eigenvalue(&problem, &mut sweeper, &config.eigen)
+                (solve_eigenvalue(problem, &mut sweeper, &config.eigen), arena)
             }
             BackendConfig::Device { memory_bytes, cu_mapping } => {
                 let device = Arc::new(Device::new(DeviceSpec::scaled(*memory_bytes)));
-                let mut solver = DeviceSolver::new(device, &problem, config.mode, *cu_mapping)
+                let mut solver = DeviceSolver::new(device, problem, config.mode, *cu_mapping)
                     .expect("device memory too small for the selected mode");
-                solve_eigenvalue(&problem, &mut solver, &config.eigen)
+                (solve_eigenvalue(problem, &mut solver, &config.eigen), arena)
             }
         };
-        (result.keff, result.iterations, result.converged, result.phi)
+        (result.keff, result.iterations, result.converged, result.phi, arena)
     };
     drop(transport_span);
     let transport_s = t.elapsed().as_secs_f64();
@@ -250,7 +348,7 @@ fn run_single(config: &RunConfig, model: BuiltModel, geometry_s: f64) -> RunRepo
         // Independent eigenvalue check; lands in the artifact's `balance`
         // section (OTF segments keep the check backend-agnostic).
         let balance = antmoc_solver::diagnostics::neutron_balance(
-            &problem,
+            problem,
             &SegmentSource::otf(),
             &phi,
             keff,
@@ -262,24 +360,24 @@ fn run_single(config: &RunConfig, model: BuiltModel, geometry_s: f64) -> RunRepo
     // Stage 5: output generation.
     let t = Instant::now();
     let output_span = tel.span("output");
-    let rates = fission_rates(&problem, &phi);
+    let rates = fission_rates(problem, &phi);
     let pin_rates = PinRates::aggregate_with(
         |radial| model.pin_of_fsr(radial),
-        std::iter::once((&problem, rates.as_slice())),
+        std::iter::once((problem, rates.as_slice())),
     );
-    let material_flux = material_flux(&problem, model.library(), &phi);
+    let material_flux = material_flux(problem, model.library(), &phi);
     drop(output_span);
     let output_s = t.elapsed().as_secs_f64();
 
-    RunReport {
+    let report = RunReport {
         keff,
         iterations,
         converged,
         pin_rates,
         material_flux,
         timings: StageTimings {
-            geometry: geometry_s,
-            tracking: tracking_s,
+            geometry: setup.geometry_s,
+            tracking: setup.tracking_s,
             transport: transport_s,
             output: output_s,
         },
@@ -288,7 +386,8 @@ fn run_single(config: &RunConfig, model: BuiltModel, geometry_s: f64) -> RunRepo
         num_3d_segments: problem.num_3d_segments(),
         num_fsrs: problem.num_fsrs(),
         comm_bytes: 0,
-    }
+    };
+    (report, arena)
 }
 
 /// Builds the segment source for the parallel CPU backend per the

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Golden-assembly pin for the sweep kernel's f64x4 lane loops.
+#
+# The vector path in antmoc-solver (simd.rs + the group-vectorized
+# kernel) deliberately avoids intrinsics: it writes fixed-trip-count lane
+# loops and relies on LLVM's autovectorizer to lower them to packed
+# double-precision arithmetic. That contract is invisible to the test
+# suite — the scalar fallback is bitwise identical by design — so a
+# toolchain or codegen regression that silently de-vectorizes the kernel
+# would only show up as a perf cliff. This script pins the contract: the
+# release-mode assembly of antmoc-solver must contain packed f64 ops.
+#
+# Enforced on x86_64 (packed SSE2/AVX: [v]addpd / [v]mulpd / [v]subpd /
+# vfmadd*pd). On other architectures the check degrades to a warning:
+# NEON/SVE mnemonics vary too much across triples to pin reliably.
+#
+#   scripts/check_simd_asm.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+arch="$(uname -m)"
+
+echo "check_simd_asm: emitting release assembly for antmoc-solver ($arch)"
+cargo rustc --release -q -p antmoc-solver -- --emit asm
+
+asm_files=$(ls -t target/release/deps/antmoc_solver-*.s 2>/dev/null || true)
+if [ -z "$asm_files" ]; then
+    echo "check_simd_asm: FAIL — no assembly emitted (expected target/release/deps/antmoc_solver-*.s)" >&2
+    exit 1
+fi
+newest=$(echo "$asm_files" | head -1)
+
+case "$arch" in
+x86_64 | amd64)
+    pattern='\bv?(addpd|mulpd|subpd)\b|\bvfmadd[0-9]*pd\b'
+    ;;
+*)
+    # aarch64 'fadd v0.2d' and friends as a courtesy check only.
+    pattern='\bfadd[[:space:]]+v[0-9]+\.2d|\bfmul[[:space:]]+v[0-9]+\.2d'
+    ;;
+esac
+
+hits=$(grep -cE "$pattern" "$newest" || true)
+echo "check_simd_asm: $newest: $hits packed f64 instruction(s)"
+
+if [ "$hits" -gt 0 ]; then
+    echo "check_simd_asm: PASS — lane loops lower to packed arithmetic"
+    exit 0
+fi
+
+case "$arch" in
+x86_64 | amd64)
+    echo "check_simd_asm: FAIL — no packed f64 ops in the release assembly;" >&2
+    echo "  the f64x4 lane loops in crates/antmoc-solver/src/simd.rs no longer autovectorize" >&2
+    exit 1
+    ;;
+*)
+    echo "check_simd_asm: WARN — no packed ops matched on $arch (check is best-effort off x86_64)"
+    exit 0
+    ;;
+esac
