@@ -14,9 +14,19 @@
 //!   `report-diff --require-counter cache.hit`);
 //! * **admission** — with the device pool sized for ~1.5 jobs, a 4-job
 //!   burst must serialize: the in-flight high-water mark never exceeds
-//!   the pool, and the wait shows up in `serve.queue_wait_ns`.
+//!   the pool, and the wait shows up in `serve.queue_wait_ns`;
+//! * **scoped telemetry** — [`JOBS`] concurrent jobs of *distinct* cases
+//!   (each cold, so every sink carries the full setup + solve story):
+//!   each job's telemetry report must be bitwise identical (via
+//!   [`deterministic_digest`]) to a one-shot [`antmoc::run`] of the same
+//!   case recorded into its own sink, and the service registry's
+//!   counter/histogram totals must equal the **exact sum** over the job
+//!   sinks. The metrics exposition must parse and carry
+//!   `serve_jobs_total`; the flight-recorder JSON lands in `results/`.
 //!
 //! The warm-leg telemetry artifact lands in `results/` for CI.
+//!
+//! [`deterministic_digest`]: antmoc_telemetry::RunReport::deterministic_digest
 //!
 //! ```text
 //! cargo run --release -p antmoc-bench --bin fig_serve
@@ -176,10 +186,118 @@ fn main() -> ExitCode {
         ok = false;
     }
 
+    // Leg 4 — scoped telemetry: concurrent jobs of distinct cases, each
+    // job's report bitwise identical to its one-shot twin, and the
+    // service registry summing the sinks exactly.
+    let variants: Vec<String> = [1.8, 2.0, 2.2, 2.4]
+        .iter()
+        .map(|s| config_text().replace("radial_spacing = 1.8", &format!("radial_spacing = {s}")))
+        .collect();
+    let baselines: Vec<String> = variants
+        .iter()
+        .map(|text| {
+            let cfg = RunConfig::parse(text).expect("variant config parses");
+            let sink = Telemetry::new();
+            let guard = sink.install();
+            let _ = antmoc::run(&cfg);
+            drop(guard);
+            sink.report().deterministic_digest()
+        })
+        .collect();
+
+    let scoped = SolveService::new(ServeConfig { workers: JOBS, ..Default::default() });
+    let handles: Vec<_> = variants
+        .iter()
+        .map(|text| scoped.submit(SolveRequest::Ini(text.clone())).expect("submit scoped"))
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+
+    let mut identical = 0usize;
+    for (i, r) in results.iter().enumerate() {
+        if let Err(e) = &r.outcome {
+            eprintln!("fig_serve: FAIL — scoped job {} errored: {e}", r.job_id);
+            ok = false;
+            continue;
+        }
+        if r.stats.cache_hit {
+            eprintln!("fig_serve: FAIL — scoped job {} unexpectedly warm", r.job_id);
+            ok = false;
+        }
+        if r.telemetry.deterministic_digest() == baselines[i] {
+            identical += 1;
+        } else {
+            eprintln!(
+                "fig_serve: FAIL — scoped job {} telemetry diverged from its one-shot twin",
+                r.job_id
+            );
+            ok = false;
+        }
+    }
+
+    // Registry totals = exact sum over the job sinks, counter by counter
+    // and histogram by histogram.
+    let mut counter_sums: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut hist_counts: std::collections::BTreeMap<String, u64> = Default::default();
+    for r in &results {
+        for (k, v) in &r.telemetry.counters {
+            *counter_sums.entry(k.clone()).or_default() += v;
+        }
+        for (k, h) in &r.telemetry.histograms {
+            *hist_counts.entry(k.clone()).or_default() += h.count;
+        }
+    }
+    let metrics = scoped.metrics();
+    for (k, v) in &counter_sums {
+        if metrics.counter(k) != *v {
+            eprintln!(
+                "fig_serve: FAIL — registry counter {k} = {} but job sinks sum to {v}",
+                metrics.counter(k)
+            );
+            ok = false;
+        }
+    }
+    for (k, c) in &hist_counts {
+        let got = metrics.histogram(k).map_or(0, |h| h.count());
+        if got != *c {
+            eprintln!(
+                "fig_serve: FAIL — registry histogram {k} holds {got} samples, sinks sum to {c}"
+            );
+            ok = false;
+        }
+    }
+
+    // The exposition and the flight recorder round out the snapshot.
+    let snap = scoped.snapshot();
+    match antmoc_telemetry::metrics::validate_exposition(snap.render_text()) {
+        Ok(samples) => {
+            if !snap.render_text().contains("serve_jobs_total") {
+                eprintln!("fig_serve: FAIL — exposition lacks serve_jobs_total");
+                ok = false;
+            }
+            println!(
+                "| scoped | {JOBS} | distinct cases | {identical}/{JOBS} digests identical, \
+                 {samples} exposition samples |"
+            );
+        }
+        Err(e) => {
+            eprintln!("fig_serve: FAIL — metrics exposition does not parse: {e}");
+            ok = false;
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/fig_serve_flight.json", snap.flight_recorder_json()))
+    {
+        eprintln!("fig_serve: failed to write results/fig_serve_flight.json: {e}");
+    } else {
+        println!("\n[flight recorder] wrote results/fig_serve_flight.json");
+    }
+    scoped.shutdown();
+
     if ok {
         println!(
             "\nfig_serve: PASS ({JOBS} concurrent jobs bitwise identical to serial, warm setup \
-             {speedup:.0}x faster, admission peak within the pool)"
+             {speedup:.0}x faster, admission peak within the pool, scoped telemetry identical \
+             to one-shot with the registry summing the sinks)"
         );
         ExitCode::SUCCESS
     } else {

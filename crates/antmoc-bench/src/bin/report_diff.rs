@@ -33,7 +33,11 @@
 //! back to synchronous behaviour. `--require-counter NAME` is the same
 //! demand for counters: the serve-smoke job asserts the warm leg of the
 //! solve-service bench recorded `cache.hit` > 0, i.e. the artifact cache
-//! actually engaged instead of rebuilding every setup.
+//! actually engaged instead of rebuilding every setup. `--require-histogram
+//! NAME` completes the family for distributions: the fresh report must
+//! carry histogram NAME with a nonzero sample count — serve-smoke uses it
+//! to insist the service actually timed its queue waits
+//! (`serve.queue_wait_ns`).
 
 use std::process::ExitCode;
 
@@ -83,6 +87,10 @@ struct Thresholds {
     /// value (`--require-counter`, repeatable) — e.g. `cache.hit` on the
     /// warm leg of the solve-service bench.
     require_counters: Vec<String>,
+    /// Histograms that must exist in the *fresh* report with a nonzero
+    /// sample count (`--require-histogram`, repeatable) — e.g.
+    /// `serve.queue_wait_ns` after a solve-service bench.
+    require_histograms: Vec<String>,
 }
 
 impl Default for Thresholds {
@@ -95,6 +103,7 @@ impl Default for Thresholds {
             allow_new: false,
             require_gauges: Vec::new(),
             require_counters: Vec::new(),
+            require_histograms: Vec::new(),
         }
     }
 }
@@ -220,6 +229,21 @@ fn diff_reports(baseline: &RunReport, fresh: &RunReport, t: &Thresholds) -> Vec<
         }
     }
 
+    // Required histograms: the fresh report must carry the distribution
+    // with at least one recorded sample — an empty histogram means the
+    // instrumented path never executed.
+    for name in &t.require_histograms {
+        match fresh.histograms.get(name) {
+            None => {
+                violations.push(format!("required histogram {name}: missing from fresh report"))
+            }
+            Some(h) if h.count == 0 => {
+                violations.push(format!("required histogram {name}: sample count 0"))
+            }
+            Some(_) => {}
+        }
+    }
+
     // Convergence series: iteration counts within tolerance (an empty
     // series on one side only is structural breakage).
     let (na, nb) = (baseline.iterations.len(), fresh.iterations.len());
@@ -274,6 +298,7 @@ fn usage() -> ExitCode {
         "usage: report-diff <baseline.json> <fresh.json> \
          [--counter-tol R] [--gauge-tol R] [--hist-ratio R] [--iter-tol R] \
          [--allow-new-sections] [--require-gauge NAME]... [--require-counter NAME]...\n\
+         \x20      [--require-histogram NAME]...\n\
          \x20      report-diff --self <report.json>\n\
          \x20      report-diff --validate-trace <trace.json>"
     );
@@ -311,6 +336,13 @@ fn main() -> ExitCode {
                 Some(name) => t.require_counters.push(name),
                 None => {
                     eprintln!("report-diff: --require-counter needs a counter name");
+                    return usage();
+                }
+            },
+            "--require-histogram" => match take(&mut i) {
+                Some(name) => t.require_histograms.push(name),
+                None => {
+                    eprintln!("report-diff: --require-histogram needs a histogram name");
                     return usage();
                 }
             },
@@ -554,6 +586,54 @@ mod tests {
         let b = report_with(1_000_000, 30);
         a.counters.insert("cache.hit".into(), 7);
         let t = Thresholds { require_counters: vec!["cache.hit".into()], ..Default::default() };
+        let v = diff_reports(&a, &b, &t);
+        assert!(v.iter().any(|m| m.contains("missing from fresh report")), "{v:?}");
+    }
+
+    #[test]
+    fn required_histogram_missing_or_empty_is_a_violation() {
+        let a = report_with(1_000_000, 30);
+        let mut b = report_with(1_000_000, 30);
+        let t = Thresholds {
+            allow_new: true,
+            require_histograms: vec!["serve.queue_wait_ns".into()],
+            ..Default::default()
+        };
+        // Missing entirely: violation.
+        let v = diff_reports(&a, &b, &t);
+        assert!(
+            v.iter().any(|m| m.contains("required histogram serve.queue_wait_ns: missing")),
+            "{v:?}"
+        );
+        // Present but empty: the instrumented path never ran.
+        b.histograms.insert(
+            "serve.queue_wait_ns".into(),
+            antmoc::telemetry::HistogramSummary { count: 0, p50: 0, p90: 0, p99: 0, max: 0 },
+        );
+        let v = diff_reports(&a, &b, &t);
+        assert!(v.iter().any(|m| m.contains("sample count 0")), "{v:?}");
+        // Nonzero count: satisfied.
+        b.histograms.insert(
+            "serve.queue_wait_ns".into(),
+            antmoc::telemetry::HistogramSummary { count: 4, p50: 1, p90: 2, p99: 3, max: 4 },
+        );
+        assert!(diff_reports(&a, &b, &t).is_empty());
+    }
+
+    #[test]
+    fn required_histogram_checks_the_fresh_side_only() {
+        // A baseline carrying the histogram does not satisfy the demand
+        // for a fresh report that lost it.
+        let mut a = report_with(1_000_000, 30);
+        let b = report_with(1_000_000, 30);
+        a.histograms.insert(
+            "serve.queue_wait_ns".into(),
+            antmoc::telemetry::HistogramSummary { count: 9, p50: 1, p90: 2, p99: 3, max: 4 },
+        );
+        let t = Thresholds {
+            require_histograms: vec!["serve.queue_wait_ns".into()],
+            ..Default::default()
+        };
         let v = diff_reports(&a, &b, &t);
         assert!(v.iter().any(|m| m.contains("missing from fresh report")), "{v:?}");
     }

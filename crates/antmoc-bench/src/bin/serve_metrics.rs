@@ -1,0 +1,106 @@
+//! serve-metrics: scrape the solve service's metrics exposition.
+//!
+//! Drives a small service through a mixed workload (a cold case, warm
+//! repeats, a second distinct case), then takes a
+//! [`SolveService::snapshot`] and checks the scrape contract CI relies
+//! on:
+//!
+//! * the Prometheus-style text parses ([`validate_exposition`]);
+//! * `serve_jobs_total` is present and counts every job;
+//! * the `serve.queue_wait_ns` histogram is exported as cumulative
+//!   buckets with `_sum`/`_count`;
+//! * the SLO gauges (`slo_error_budget_remaining`, `slo_healthy`) are
+//!   exported and healthy for this failure-free workload.
+//!
+//! Artifacts: `results/serve_metrics.prom` (the exposition text) and
+//! `results/serve_metrics_flight.json` (the flight-recorder export).
+//!
+//! ```text
+//! cargo run --release -p antmoc-bench --bin serve_metrics
+//! ```
+//!
+//! [`validate_exposition`]: antmoc_telemetry::metrics::validate_exposition
+
+use std::process::ExitCode;
+
+use antmoc_serve::{ServeConfig, SolveRequest, SolveService};
+use antmoc_telemetry::metrics::validate_exposition;
+
+fn config_text(radial_spacing: f64) -> String {
+    format!(
+        "[model]\naxial_dz = 64.26\n\
+         [tracks]\nnum_azim = 4\nradial_spacing = {radial_spacing}\nnum_polar = 2\n\
+         axial_spacing = 60.0\n\
+         [solver]\ntolerance = 1e-3\nmax_iterations = 60\nmode = otf\nbackend = cpu\n"
+    )
+}
+
+fn main() -> ExitCode {
+    println!("# Service metrics scrape\n");
+    let mut ok = true;
+
+    let service = SolveService::new(ServeConfig { workers: 2, ..Default::default() });
+    // A mixed workload: one cold case, two warm repeats, one distinct
+    // second case — so the scrape shows hits, misses, and queue waits.
+    let jobs = [config_text(2.5), config_text(2.5), config_text(2.5), config_text(2.2)];
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|text| service.submit(SolveRequest::Ini(text.clone())).expect("submit"))
+        .collect();
+    let total = handles.len() as u64;
+    for h in handles {
+        let r = h.wait();
+        if let Err(e) = r.outcome {
+            eprintln!("serve_metrics: FAIL — job {} errored: {e}", r.job_id);
+            ok = false;
+        }
+    }
+
+    let snap = service.snapshot();
+    let text = snap.render_text();
+
+    match validate_exposition(text) {
+        Ok(samples) => println!("exposition: {samples} samples, parses cleanly"),
+        Err(e) => {
+            eprintln!("serve_metrics: FAIL — exposition does not parse: {e}");
+            ok = false;
+        }
+    }
+    for needle in [
+        format!("serve_jobs_total {total}"),
+        "serve_queue_wait_ns_bucket{le=".to_string(),
+        format!("serve_queue_wait_ns_count {total}"),
+        "slo_error_budget_remaining".to_string(),
+        "slo_healthy 1".to_string(),
+    ] {
+        if text.contains(&needle) {
+            println!("contains: {needle}");
+        } else {
+            eprintln!("serve_metrics: FAIL — exposition lacks `{needle}`");
+            ok = false;
+        }
+    }
+    if !snap.slo.ok {
+        eprintln!("serve_metrics: FAIL — SLO unhealthy on a failure-free workload");
+        ok = false;
+    }
+
+    if let Err(e) = std::fs::create_dir_all("results").and_then(|()| {
+        std::fs::write("results/serve_metrics.prom", text)?;
+        std::fs::write("results/serve_metrics_flight.json", snap.flight_recorder_json())
+    }) {
+        eprintln!("serve_metrics: failed to write artifacts: {e}");
+    } else {
+        println!(
+            "\n[artifacts] wrote results/serve_metrics.prom and results/serve_metrics_flight.json"
+        );
+    }
+    service.shutdown();
+
+    if ok {
+        println!("\nserve_metrics: PASS");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -227,7 +227,7 @@ impl Comm {
         let hist =
             if tag >= COLLECTIVE_TAG_MIN { "comm.collective_wait_ns" } else { "comm.recv_wait_ns" };
         let record_wait = |t0: Instant| {
-            antmoc_telemetry::Telemetry::global()
+            antmoc_telemetry::Telemetry::current()
                 .histogram_record(hist, t0.elapsed().as_nanos() as u64);
         };
         loop {
@@ -287,7 +287,7 @@ impl Comm {
     /// reduce, broadcast). `op` must be associative and commutative.
     pub fn allreduce_f64(&mut self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
         const TAG: u32 = u32::MAX - 1;
-        let tel = antmoc_telemetry::Telemetry::global();
+        let tel = antmoc_telemetry::Telemetry::current();
         tel.counter_add("comm.allreduce_calls", 1);
         let _scope = tel.trace_scope("comm.allreduce", &[]);
         if self.rank == 0 {
@@ -319,7 +319,7 @@ impl Comm {
     /// Gathers one value per rank to every rank (all-gather).
     pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
         const TAG: u32 = u32::MAX - 2;
-        let tel = antmoc_telemetry::Telemetry::global();
+        let tel = antmoc_telemetry::Telemetry::current();
         tel.counter_add("comm.allgather_calls", 1);
         let _scope = tel.trace_scope("comm.allgather", &[]);
         if self.rank == 0 {
@@ -340,7 +340,7 @@ impl Comm {
     /// Broadcast from rank 0.
     pub fn broadcast<T: Clone + Send + 'static>(&mut self, value: Option<T>) -> T {
         const TAG: u32 = u32::MAX - 3;
-        let tel = antmoc_telemetry::Telemetry::global();
+        let tel = antmoc_telemetry::Telemetry::current();
         tel.counter_add("comm.broadcast_calls", 1);
         let _scope = tel.trace_scope("comm.broadcast", &[]);
         if self.rank == 0 {
@@ -448,7 +448,7 @@ impl Cluster {
         let traffic: Vec<Traffic> = counters.iter().map(|c| c.snapshot()).collect();
         // Fold per-rank traffic into the run telemetry so comm volume shows
         // up in the same artifact as sweep timings.
-        let tel = antmoc_telemetry::Telemetry::global();
+        let tel = antmoc_telemetry::Telemetry::current();
         for t in &traffic {
             tel.counter_add("comm.sent_bytes", t.sent_bytes);
             tel.counter_add("comm.sent_messages", t.sent_messages);

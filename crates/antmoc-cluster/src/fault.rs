@@ -231,7 +231,7 @@ impl FaultyComm {
     pub fn new(inner: Comm, plan: Arc<FaultPlan>) -> Self {
         let zero = plan.is_zero();
         if !zero {
-            let tel = Telemetry::global();
+            let tel = Telemetry::current();
             tel.counter_add("comm.retries", 0);
             tel.counter_add("comm.dropped", 0);
             tel.counter_add("comm.flipped", 0);
@@ -277,7 +277,7 @@ impl FaultyComm {
         let op = self.ops;
         self.ops += 1;
         let rank = self.inner.rank();
-        let tel = Telemetry::global();
+        let tel = Telemetry::current();
         let max_retries = self.plan.config().max_retries;
         for attempt in 0..=max_retries {
             let dropped = self.plan.drops(rank, op, attempt);
@@ -364,7 +364,7 @@ impl FaultyComm {
             return Ok(self.inner.allgather(value));
         }
         const TAG: u32 = u32::MAX - 2;
-        Telemetry::global().counter_add("comm.allgather_calls", 1);
+        Telemetry::current().counter_add("comm.allgather_calls", 1);
         if self.inner.rank() == 0 {
             let mut all = vec![value];
             for from in 1..self.inner.size() {
@@ -389,7 +389,7 @@ impl FaultyComm {
             return Ok(self.inner.allreduce_sum(value));
         }
         const TAG: u32 = u32::MAX - 1;
-        Telemetry::global().counter_add("comm.allreduce_calls", 1);
+        Telemetry::current().counter_add("comm.allreduce_calls", 1);
         if self.inner.rank() == 0 {
             let mut acc = value;
             for from in 1..self.inner.size() {

@@ -174,7 +174,7 @@ impl Device {
     fn finish_launch(&self, name: &str, per_cu: &[u64], start: Instant) {
         let seconds = start.elapsed().as_secs_f64();
         let total: u64 = per_cu.iter().sum();
-        let tel = antmoc_telemetry::Telemetry::global();
+        let tel = antmoc_telemetry::Telemetry::current();
         tel.counter_add("device.launches", 1);
         tel.counter_add("device.work_units", total);
         // Occupancy: fraction of CUs that did any work this launch.

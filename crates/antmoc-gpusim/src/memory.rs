@@ -63,7 +63,7 @@ impl MemoryPool {
         s.used += bytes;
         s.peak = s.peak.max(s.used);
         *s.tags.entry(tag.to_string()).or_insert(0) += bytes;
-        antmoc_telemetry::Telemetry::global().gauge_set("device.pool_used_bytes", s.used as f64);
+        antmoc_telemetry::Telemetry::current().gauge_set("device.pool_used_bytes", s.used as f64);
         Ok(())
     }
 

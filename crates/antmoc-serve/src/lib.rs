@@ -34,7 +34,17 @@
 //! worker count (like one-shot runs) or pins one via
 //! [`ServeConfig::solve_threads`].
 
+//! Observability: each job records into a **job-scoped telemetry sink**
+//! (installed on the worker thread and inherited by the sweep's thread
+//! team), so [`JobResult::telemetry`] is the same report a one-shot run
+//! would have produced; completed sinks merge into a service-wide
+//! [`MetricsRegistry`] with Prometheus-style text exposition, and a
+//! [`recorder::FlightRecorder`] retains the last N jobs and the last K
+//! failures (panic message + config digest) as a JSON post-mortem.
+//! [`SolveService::snapshot`] bundles all three with an SLO evaluation.
+
 pub mod cache;
+pub mod recorder;
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -48,9 +58,10 @@ use antmoc::{RunConfig, RunReport};
 use antmoc_input::CaseSpec;
 use antmoc_perfmodel::{advise_tallies, MemoryModel, TallyAdvice};
 use antmoc_solver::SweepArena;
-use antmoc_telemetry::{Json, Telemetry};
+use antmoc_telemetry::{Json, MetricsRegistry, RunReport as TelemetryReport, Telemetry};
 
 use cache::SetupCache;
+pub use recorder::{ErrorRecord, FlightRecorder, JobRecord, SloConfig, SloStatus};
 
 /// Service-level configuration.
 #[derive(Debug, Clone)]
@@ -71,11 +82,28 @@ pub struct ServeConfig {
     /// a one-shot run — the setting that keeps service reports bitwise
     /// identical to serial runs.
     pub solve_threads: Option<usize>,
+    /// Finished jobs the flight recorder retains (ring buffer); 0
+    /// disables the job ring (totals still accumulate).
+    pub recorder_jobs: usize,
+    /// Errored/panicked jobs the flight recorder retains, kept in a
+    /// separate (usually smaller) ring so rare failures survive a burst
+    /// of healthy traffic.
+    pub recorder_errors: usize,
+    /// The service-level objectives [`SolveService::snapshot`] evaluates.
+    pub slo: SloConfig,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { workers: 2, device_pool_bytes: 4 << 30, max_cached_setups: 8, solve_threads: None }
+        Self {
+            workers: 2,
+            device_pool_bytes: 4 << 30,
+            max_cached_setups: 8,
+            solve_threads: None,
+            recorder_jobs: 64,
+            recorder_errors: 16,
+            slo: SloConfig::default(),
+        }
     }
 }
 
@@ -156,6 +184,13 @@ pub struct JobResult {
     pub job_id: u64,
     pub outcome: Result<RunReport, JobError>,
     pub stats: JobStats,
+    /// The job's own telemetry report: everything the pipeline recorded
+    /// while this job ran (meta, spans, counters, gauges, histograms,
+    /// iteration rows) in a sink scoped to the job — the same report a
+    /// one-shot [`antmoc::run`] of this configuration produces. On a
+    /// failed job this holds whatever the stages recorded before the
+    /// panic.
+    pub telemetry: TelemetryReport,
 }
 
 /// A claim ticket for a submitted job.
@@ -247,6 +282,12 @@ struct Shared {
     admission: Admission,
     solve_threads: Option<usize>,
     next_id: AtomicU64,
+    /// Service-wide aggregation: completed job sinks merge here, and the
+    /// service's own counters/gauges/histograms (`serve.*`, `cache.*`)
+    /// are recorded here directly alongside the global telemetry.
+    metrics: MetricsRegistry,
+    recorder: FlightRecorder,
+    slo: SloConfig,
 }
 
 /// The long-running solve service. Dropping it (or calling
@@ -266,6 +307,9 @@ impl SolveService {
             admission: Admission::new(config.device_pool_bytes.max(1)),
             solve_threads: config.solve_threads,
             next_id: AtomicU64::new(1),
+            metrics: MetricsRegistry::new(),
+            recorder: FlightRecorder::new(config.recorder_jobs, config.recorder_errors),
+            slo: config.slo.clone(),
         });
         let workers = (0..config.workers.max(1))
             .map(|w| {
@@ -316,6 +360,41 @@ impl SolveService {
         self.shared.cache.len()
     }
 
+    /// The service-wide metrics registry: the service's own `serve.*` /
+    /// `cache.*` series plus the merged sinks of every completed job.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// The flight recorder (recent jobs + recent failures).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.shared.recorder
+    }
+
+    /// A point-in-time view of the whole service: the SLO evaluation,
+    /// the metrics exposition, and the flight-recorder export. The SLO
+    /// result is also published back into the registry as `slo.*` gauges
+    /// so a scrape carries the remaining error budget.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let shared = &self.shared;
+        let p99 = shared.metrics.histogram_percentile("serve.queue_wait_ns", 0.99);
+        let slo = SloStatus::evaluate(
+            &shared.slo,
+            p99,
+            shared.recorder.jobs_total(),
+            shared.recorder.jobs_failed(),
+        );
+        shared.metrics.gauge_set("slo.queue_wait_p99_ns", slo.queue_wait_p99_ns as f64);
+        shared.metrics.gauge_set("slo.queue_wait_objective_ns", slo.queue_wait_objective_ns as f64);
+        shared.metrics.gauge_set("slo.error_budget_remaining", slo.error_budget_remaining);
+        shared.metrics.gauge_set("slo.healthy", if slo.ok { 1.0 } else { 0.0 });
+        ServiceSnapshot {
+            slo,
+            metrics_text: shared.metrics.render_text(),
+            flight_json: shared.recorder.export_json_string(),
+        }
+    }
+
     /// Finishes queued jobs, then stops the workers and joins them.
     pub fn shutdown(mut self) {
         self.begin_shutdown();
@@ -327,6 +406,29 @@ impl SolveService {
     fn begin_shutdown(&self) {
         self.shared.queue.lock().unwrap().shutdown = true;
         self.shared.cv.notify_all();
+    }
+}
+
+/// A point-in-time view of the service, taken by
+/// [`SolveService::snapshot`]. The pieces are captured together (SLO
+/// evaluated, then text rendered, then recorder exported) so a scrape
+/// sees one consistent story.
+pub struct ServiceSnapshot {
+    /// The SLO evaluation at snapshot time.
+    pub slo: SloStatus,
+    metrics_text: String,
+    flight_json: String,
+}
+
+impl ServiceSnapshot {
+    /// The Prometheus-style text exposition of the metrics registry.
+    pub fn render_text(&self) -> &str {
+        &self.metrics_text
+    }
+
+    /// The flight-recorder post-mortem as pretty-printed JSON.
+    pub fn flight_recorder_json(&self) -> &str {
+        &self.flight_json
     }
 }
 
@@ -408,14 +510,26 @@ fn setup_bytes(setup: &SolveSetup) -> u64 {
 }
 
 fn run_job(shared: &Shared, job: Job) -> JobResult {
-    let tel = Telemetry::global();
+    // Service-level telemetry stays on the explicit global handle (and
+    // the service registry) so `serve.*` / `cache.*` series never leak
+    // into the job's own report.
+    let service_tel = Telemetry::global();
     let Job { id, config, enqueued, .. } = job;
     let pickup_wait = enqueued.elapsed();
-    let _scope = tel.trace_scope(
+    let _scope = service_tel.trace_scope(
         "serve.job",
         &[("job", Json::Uint(id)), ("case", Json::Str(config.case_name.clone()))],
     );
-    tel.counter_add("serve.jobs", 1);
+    service_tel.counter_add("serve.jobs", 1);
+    shared.metrics.counter_add("serve.jobs", 1);
+
+    // Everything the pipeline records while this job runs lands in a
+    // job-scoped sink, installed on this worker thread and inherited by
+    // the sweep's thread team — exactly what a one-shot run records
+    // into the global instance.
+    let sink = Telemetry::new();
+    let sink_guard = sink.install();
+    antmoc::record_run_meta(&config);
 
     // Stage 1: content-addressed setup.
     let key = cache::cache_key(&config);
@@ -426,19 +540,26 @@ fn run_job(shared: &Shared, job: Job) -> JobResult {
     let (setup, cache_hit) = match built {
         Ok(pair) => pair,
         Err(panic) => {
-            return JobResult {
-                job_id: id,
-                outcome: Err(JobError::Panicked(panic_message(panic))),
-                stats: JobStats { queue_wait_s: pickup_wait.as_secs_f64(), ..Default::default() },
-            }
+            // Honest stats even on the panic path: the queue wait and
+            // the time burned in setup before it blew up.
+            let stats = JobStats {
+                queue_wait_s: pickup_wait.as_secs_f64(),
+                setup_s: t_setup.elapsed().as_secs_f64(),
+                ..Default::default()
+            };
+            return fail_job(shared, id, &config, panic_message(panic), stats, sink.report());
         }
     };
     let setup_s = t_setup.elapsed().as_secs_f64();
     if cache_hit {
-        tel.counter_add("cache.hit", 1);
+        service_tel.counter_add("cache.hit", 1);
+        shared.metrics.counter_add("cache.hit", 1);
     } else {
-        tel.counter_add("cache.miss", 1);
-        tel.counter_add("cache.bytes", setup_bytes(&setup));
+        let bytes = setup_bytes(&setup);
+        service_tel.counter_add("cache.miss", 1);
+        service_tel.counter_add("cache.bytes", bytes);
+        shared.metrics.counter_add("cache.miss", 1);
+        shared.metrics.counter_add("cache.bytes", bytes);
     }
 
     // Stage 2: admission against the device pool.
@@ -446,7 +567,9 @@ fn run_job(shared: &Shared, job: Job) -> JobResult {
     let footprint = job_footprint(&config, &setup, solve_workers);
     let (permit, admission_wait) = shared.admission.admit(footprint);
     let queue_wait = pickup_wait + admission_wait;
-    tel.histogram_record("serve.queue_wait_ns", queue_wait.as_nanos() as u64);
+    service_tel.histogram_record("serve.queue_wait_ns", queue_wait.as_nanos() as u64);
+    shared.metrics.histogram_record("serve.queue_wait_ns", queue_wait.as_nanos() as u64);
+    shared.metrics.gauge_set("serve.inflight_peak_bytes", shared.admission.peak_bytes() as f64);
 
     // Stage 3: solve on a pooled arena.
     let arena = shared
@@ -467,32 +590,83 @@ fn run_job(shared: &Shared, job: Job) -> JobResult {
     let solve_s = t_solve.elapsed().as_secs_f64();
     drop(permit);
 
-    let outcome = match solved {
+    let stats = JobStats {
+        cache_hit,
+        queue_wait_s: queue_wait.as_secs_f64(),
+        setup_s,
+        solve_s,
+        footprint_bytes: footprint,
+    };
+    match solved {
         Ok((report, arena)) => {
-            let mut pool = shared.arenas.lock().unwrap();
-            // A few spare arenas cover the worker pool; beyond that,
-            // freeing beats hoarding (mirrors the phi pool's policy).
-            if pool.len() < 4 {
-                pool.push(arena);
+            {
+                let mut pool = shared.arenas.lock().unwrap();
+                // A few spare arenas cover the worker pool; beyond that,
+                // freeing beats hoarding (mirrors the phi pool's policy).
+                if pool.len() < 4 {
+                    pool.push(arena);
+                }
             }
-            Ok(report)
+            // The job is done recording: close the scope, take the
+            // report, and fold the sink into the service registry.
+            drop(sink_guard);
+            let telemetry = sink.report();
+            sink.merge_into_registry(&shared.metrics);
+            shared.recorder.record_job(JobRecord {
+                job_id: id,
+                case: config.case_name.clone(),
+                ok: true,
+                cache_hit,
+                queue_wait_s: stats.queue_wait_s,
+                setup_s,
+                solve_s,
+                footprint_bytes: footprint,
+                keff: Some(report.keff),
+                iterations: Some(report.iterations as u64),
+                converged: Some(report.converged),
+            });
+            JobResult { job_id: id, outcome: Ok(report), stats, telemetry }
         }
         // The arena checked out by a panicked solve is dropped with the
         // panic payload; the pool refills lazily.
-        Err(panic) => Err(JobError::Panicked(panic_message(panic))),
-    };
-
-    JobResult {
-        job_id: id,
-        outcome,
-        stats: JobStats {
-            cache_hit,
-            queue_wait_s: queue_wait.as_secs_f64(),
-            setup_s,
-            solve_s,
-            footprint_bytes: footprint,
-        },
+        Err(panic) => fail_job(shared, id, &config, panic_message(panic), stats, sink.report()),
     }
+}
+
+/// The failure tail of [`run_job`]: count the failure, remember it in
+/// the flight recorder (message + config digest), and hand back the
+/// partial stats and partial job telemetry. A failed sink is *not*
+/// merged into the registry — only completed jobs contribute there.
+fn fail_job(
+    shared: &Shared,
+    id: u64,
+    config: &RunConfig,
+    message: String,
+    stats: JobStats,
+    telemetry: TelemetryReport,
+) -> JobResult {
+    Telemetry::global().counter_add("serve.jobs_failed", 1);
+    shared.metrics.counter_add("serve.jobs_failed", 1);
+    shared.recorder.record_job(JobRecord {
+        job_id: id,
+        case: config.case_name.clone(),
+        ok: false,
+        cache_hit: stats.cache_hit,
+        queue_wait_s: stats.queue_wait_s,
+        setup_s: stats.setup_s,
+        solve_s: stats.solve_s,
+        footprint_bytes: stats.footprint_bytes,
+        keff: None,
+        iterations: None,
+        converged: None,
+    });
+    shared.recorder.record_error(ErrorRecord {
+        job_id: id,
+        case: config.case_name.clone(),
+        message: message.clone(),
+        config_digest: format!("{:016x}", cache::cache_key(config)),
+    });
+    JobResult { job_id: id, outcome: Err(JobError::Panicked(message)), stats, telemetry }
 }
 
 fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
@@ -634,9 +808,82 @@ mod tests {
         cfg.tracks.num_azim = 0; // violates the tracker's contract
         let r = service.submit(SolveRequest::Config(Box::new(cfg))).unwrap().wait();
         assert!(matches!(r.outcome, Err(JobError::Panicked(_))));
+        // Honest stats on the panic path: the setup stage ran (and blew
+        // up), so its elapsed time must be reported, not zeroed.
+        assert!(r.stats.setup_s > 0.0, "setup_s dropped on the panic path");
+        // The failure is remembered: message and config digest in the
+        // error ring, failed total on the recorder and the registry.
+        let errors = service.flight_recorder().recent_errors();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].job_id, r.job_id);
+        assert!(!errors[0].config_digest.is_empty());
+        assert_eq!(service.flight_recorder().jobs_failed(), 1);
+        assert_eq!(service.metrics().counter("serve.jobs_failed"), 1);
         // The worker is still alive and solves the next job.
         let ok = service.submit(SolveRequest::Ini(tiny_ini())).unwrap().wait();
         assert!(ok.outcome.is_ok());
+        // SLO: one failure out of two jobs blows a 1% budget.
+        let snap = service.snapshot();
+        assert_eq!(snap.slo.jobs_total, 2);
+        assert_eq!(snap.slo.jobs_failed, 1);
+        assert_eq!(snap.slo.error_budget_remaining, 0.0);
+        assert!(!snap.slo.ok);
+        service.shutdown();
+    }
+
+    #[test]
+    fn snapshot_exposes_metrics_slo_and_flight_recorder() {
+        let service = SolveService::new(ServeConfig { workers: 2, ..Default::default() });
+        let handles: Vec<_> =
+            (0..3).map(|_| service.submit(SolveRequest::Ini(tiny_ini())).unwrap()).collect();
+        for h in handles {
+            assert!(h.wait().outcome.is_ok());
+        }
+        let snap = service.snapshot();
+        let text = snap.render_text();
+        antmoc_telemetry::metrics::validate_exposition(text).expect("exposition parses");
+        assert!(text.contains("serve_jobs_total 3"), "missing serve_jobs_total:\n{text}");
+        assert!(text.contains("serve_queue_wait_ns_bucket{le="), "missing queue-wait buckets");
+        assert!(text.contains("serve_queue_wait_ns_count 3"));
+        assert!(text.contains("slo_error_budget_remaining 1"));
+        assert!(snap.slo.ok);
+        assert_eq!(snap.slo.jobs_total, 3);
+        let doc = antmoc_telemetry::json::parse(snap.flight_recorder_json()).unwrap();
+        assert_eq!(doc.get("jobs_total").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("jobs").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+        service.shutdown();
+    }
+
+    #[test]
+    fn job_telemetry_matches_one_shot_and_registry_sums_the_sinks() {
+        let config = RunConfig::parse(&tiny_ini()).unwrap();
+        // One-shot baseline recorded into a scoped sink of its own, so
+        // the comparison is sink-report against sink-report.
+        let baseline = {
+            let sink = Telemetry::new();
+            let guard = sink.install();
+            let _ = antmoc::run(&config);
+            drop(guard);
+            sink.report()
+        };
+        let service = SolveService::new(ServeConfig { workers: 1, ..Default::default() });
+        let r = service.submit(SolveRequest::Ini(tiny_ini())).unwrap().wait();
+        assert!(r.outcome.is_ok());
+        assert_eq!(
+            r.telemetry.deterministic_digest(),
+            baseline.deterministic_digest(),
+            "job-scoped report diverged from the one-shot run"
+        );
+        // With a single completed job, the registry's job-sourced series
+        // must equal the sink exactly (counters bit-for-bit, histograms
+        // sample-for-sample).
+        for (name, &value) in &r.telemetry.counters {
+            assert_eq!(service.metrics().counter(name), value, "counter {name}");
+        }
+        for (name, summary) in &r.telemetry.histograms {
+            let merged = service.metrics().histogram(name).expect(name);
+            assert_eq!(merged.count(), summary.count, "histogram {name}");
+        }
         service.shutdown();
     }
 }

@@ -1,0 +1,339 @@
+//! The flight recorder: bounded in-memory rings of recently finished
+//! jobs and recent failures, plus the service-level objectives computed
+//! over them — the post-mortem story for a long-running service.
+//!
+//! Two rings, deliberately separate: the *job* ring holds the last N
+//! jobs (stats + a physics summary of the report) so a dashboard can
+//! show "what just happened"; the *error* ring holds the last K
+//! errored/panicked jobs with the panic message and the config digest
+//! (the same content hash the setup cache keys on), so a rare failure
+//! survives a burst of healthy traffic long enough to be reproduced
+//! offline. Everything exports as one JSON document via
+//! [`FlightRecorder::to_json`].
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use antmoc_telemetry::Json;
+
+/// One finished job as the recorder remembers it: the [`JobStats`]
+/// fields plus a summary of the run report (absent when the job failed).
+///
+/// [`JobStats`]: crate::JobStats
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    pub job_id: u64,
+    pub case: String,
+    pub ok: bool,
+    pub cache_hit: bool,
+    pub queue_wait_s: f64,
+    pub setup_s: f64,
+    pub solve_s: f64,
+    pub footprint_bytes: u64,
+    pub keff: Option<f64>,
+    pub iterations: Option<u64>,
+    pub converged: Option<bool>,
+}
+
+/// One failed job: why it failed and which configuration to replay.
+#[derive(Debug, Clone)]
+pub struct ErrorRecord {
+    pub job_id: u64,
+    pub case: String,
+    /// The panic message (or error description).
+    pub message: String,
+    /// Hex FNV-1a digest of the setup-relevant configuration — the same
+    /// identity the setup cache uses, so the failure maps to a
+    /// reproducer config without storing the whole config here.
+    pub config_digest: String,
+}
+
+#[derive(Default)]
+struct Rings {
+    jobs: VecDeque<JobRecord>,
+    errors: VecDeque<ErrorRecord>,
+    total: u64,
+    failed: u64,
+}
+
+/// Bounded rings of recent jobs and failures with monotonic totals.
+pub struct FlightRecorder {
+    rings: Mutex<Rings>,
+    jobs_cap: usize,
+    errors_cap: usize,
+}
+
+impl FlightRecorder {
+    /// `jobs_cap` bounds the job ring, `errors_cap` the error ring;
+    /// either may be 0 to disable that ring (totals still accumulate).
+    pub fn new(jobs_cap: usize, errors_cap: usize) -> Self {
+        Self { rings: Mutex::new(Rings::default()), jobs_cap, errors_cap }
+    }
+
+    /// Records a finished job (success or failure). Failures should
+    /// *also* go through [`FlightRecorder::record_error`] so the error
+    /// ring keeps the message and digest.
+    pub fn record_job(&self, record: JobRecord) {
+        let mut rings = self.rings.lock().unwrap();
+        rings.total += 1;
+        if !record.ok {
+            rings.failed += 1;
+        }
+        if self.jobs_cap > 0 {
+            if rings.jobs.len() == self.jobs_cap {
+                rings.jobs.pop_front();
+            }
+            rings.jobs.push_back(record);
+        }
+    }
+
+    /// Records a failure's message and config digest in the error ring.
+    pub fn record_error(&self, record: ErrorRecord) {
+        let mut rings = self.rings.lock().unwrap();
+        if self.errors_cap > 0 {
+            if rings.errors.len() == self.errors_cap {
+                rings.errors.pop_front();
+            }
+            rings.errors.push_back(record);
+        }
+    }
+
+    /// Jobs ever recorded (not bounded by the ring).
+    pub fn jobs_total(&self) -> u64 {
+        self.rings.lock().unwrap().total
+    }
+
+    /// Failed jobs ever recorded.
+    pub fn jobs_failed(&self) -> u64 {
+        self.rings.lock().unwrap().failed
+    }
+
+    /// Failed fraction of all recorded jobs (0 when nothing ran yet).
+    pub fn error_rate(&self) -> f64 {
+        let rings = self.rings.lock().unwrap();
+        if rings.total == 0 {
+            0.0
+        } else {
+            rings.failed as f64 / rings.total as f64
+        }
+    }
+
+    /// Snapshot of the job ring, oldest first.
+    pub fn recent_jobs(&self) -> Vec<JobRecord> {
+        self.rings.lock().unwrap().jobs.iter().cloned().collect()
+    }
+
+    /// Snapshot of the error ring, oldest first.
+    pub fn recent_errors(&self) -> Vec<ErrorRecord> {
+        self.rings.lock().unwrap().errors.iter().cloned().collect()
+    }
+
+    /// The whole recorder as one JSON document.
+    pub fn to_json(&self) -> Json {
+        let rings = self.rings.lock().unwrap();
+        Json::Obj(vec![
+            ("jobs_total".into(), Json::Uint(rings.total)),
+            ("jobs_failed".into(), Json::Uint(rings.failed)),
+            ("jobs".into(), Json::Arr(rings.jobs.iter().map(job_json).collect())),
+            ("errors".into(), Json::Arr(rings.errors.iter().map(error_json).collect())),
+        ])
+    }
+
+    /// [`FlightRecorder::to_json`] rendered as pretty-printed text — the
+    /// post-mortem artifact CI uploads.
+    pub fn export_json_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+}
+
+fn job_json(r: &JobRecord) -> Json {
+    let mut pairs = vec![
+        ("job_id".into(), Json::Uint(r.job_id)),
+        ("case".into(), Json::Str(r.case.clone())),
+        ("ok".into(), Json::Bool(r.ok)),
+        ("cache_hit".into(), Json::Bool(r.cache_hit)),
+        ("queue_wait_s".into(), Json::Num(r.queue_wait_s)),
+        ("setup_s".into(), Json::Num(r.setup_s)),
+        ("solve_s".into(), Json::Num(r.solve_s)),
+        ("footprint_bytes".into(), Json::Uint(r.footprint_bytes)),
+    ];
+    if let Some(keff) = r.keff {
+        pairs.push(("keff".into(), Json::Num(keff)));
+    }
+    if let Some(it) = r.iterations {
+        pairs.push(("iterations".into(), Json::Uint(it)));
+    }
+    if let Some(conv) = r.converged {
+        pairs.push(("converged".into(), Json::Bool(conv)));
+    }
+    Json::Obj(pairs)
+}
+
+fn error_json(r: &ErrorRecord) -> Json {
+    Json::Obj(vec![
+        ("job_id".into(), Json::Uint(r.job_id)),
+        ("case".into(), Json::Str(r.case.clone())),
+        ("message".into(), Json::Str(r.message.clone())),
+        ("config_digest".into(), Json::Str(r.config_digest.clone())),
+    ])
+}
+
+/// Service-level objectives the snapshot evaluates.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Objective on the p99 of the `serve.queue_wait_ns` histogram: the
+    /// service is "meeting latency" while p99 queue+admission wait stays
+    /// at or under this.
+    pub queue_wait_p99_ns: u64,
+    /// Error budget: the tolerated fraction of failed jobs.
+    pub error_rate: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        // Generous defaults sized for the bench cases: half a minute of
+        // queueing headroom (admission intentionally serializes
+        // over-budget mixes) and a 1% failure budget.
+        Self { queue_wait_p99_ns: 30_000_000_000, error_rate: 0.01 }
+    }
+}
+
+/// The objectives evaluated against the live registry and recorder.
+#[derive(Debug, Clone)]
+pub struct SloStatus {
+    pub queue_wait_p99_ns: u64,
+    pub queue_wait_objective_ns: u64,
+    pub queue_wait_ok: bool,
+    pub jobs_total: u64,
+    pub jobs_failed: u64,
+    pub error_rate: f64,
+    pub error_rate_objective: f64,
+    /// Unspent fraction of the error budget: 1 with no failures, 0 once
+    /// failures have consumed `error_rate_objective` of all jobs.
+    pub error_budget_remaining: f64,
+    pub ok: bool,
+}
+
+impl SloStatus {
+    /// Evaluates `config` against an observed p99 and the job totals.
+    pub fn evaluate(config: &SloConfig, queue_wait_p99_ns: u64, total: u64, failed: u64) -> Self {
+        let queue_wait_ok = queue_wait_p99_ns <= config.queue_wait_p99_ns;
+        let error_rate = if total == 0 { 0.0 } else { failed as f64 / total as f64 };
+        let allowed = total as f64 * config.error_rate;
+        let error_budget_remaining = if failed == 0 {
+            1.0
+        } else if allowed <= 0.0 {
+            0.0
+        } else {
+            (1.0 - failed as f64 / allowed).clamp(0.0, 1.0)
+        };
+        let ok = queue_wait_ok && error_rate <= config.error_rate;
+        Self {
+            queue_wait_p99_ns,
+            queue_wait_objective_ns: config.queue_wait_p99_ns,
+            queue_wait_ok,
+            jobs_total: total,
+            jobs_failed: failed,
+            error_rate,
+            error_rate_objective: config.error_rate,
+            error_budget_remaining,
+            ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, ok: bool) -> JobRecord {
+        JobRecord {
+            job_id: id,
+            case: format!("case-{id}"),
+            ok,
+            cache_hit: false,
+            queue_wait_s: 0.001,
+            setup_s: 0.5,
+            solve_s: 1.5,
+            footprint_bytes: 1 << 20,
+            keff: ok.then_some(1.18),
+            iterations: ok.then_some(42),
+            converged: ok.then_some(true),
+        }
+    }
+
+    #[test]
+    fn rings_are_bounded_but_totals_are_not() {
+        let rec = FlightRecorder::new(4, 2);
+        for i in 0..10 {
+            rec.record_job(job(i, i % 3 != 0));
+        }
+        assert_eq!(rec.jobs_total(), 10);
+        assert_eq!(rec.jobs_failed(), 4); // 0, 3, 6, 9
+        let recent = rec.recent_jobs();
+        assert_eq!(recent.len(), 4);
+        assert_eq!(recent.first().unwrap().job_id, 6, "oldest surviving entry");
+        assert_eq!(recent.last().unwrap().job_id, 9);
+    }
+
+    #[test]
+    fn error_ring_keeps_message_and_digest() {
+        let rec = FlightRecorder::new(8, 2);
+        for i in 0..3 {
+            rec.record_error(ErrorRecord {
+                job_id: i,
+                case: "c".into(),
+                message: format!("panic {i}"),
+                config_digest: format!("{i:016x}"),
+            });
+        }
+        let errors = rec.recent_errors();
+        assert_eq!(errors.len(), 2);
+        assert_eq!(errors[0].message, "panic 1");
+        assert_eq!(errors[1].config_digest, format!("{:016x}", 2));
+    }
+
+    #[test]
+    fn export_parses_as_json_with_both_rings() {
+        let rec = FlightRecorder::new(4, 4);
+        rec.record_job(job(1, true));
+        rec.record_job(job(2, false));
+        rec.record_error(ErrorRecord {
+            job_id: 2,
+            case: "case-2".into(),
+            message: "boom".into(),
+            config_digest: "deadbeef".into(),
+        });
+        let text = rec.export_json_string();
+        let doc = antmoc_telemetry::json::parse(&text).expect("recorder export parses");
+        assert_eq!(doc.get("jobs_total").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("jobs_failed").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("jobs").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        let errors = doc.get("errors").and_then(Json::as_arr).unwrap();
+        assert_eq!(errors[0].get("message").and_then(Json::as_str), Some("boom"));
+    }
+
+    #[test]
+    fn slo_budget_accounting() {
+        let cfg = SloConfig { queue_wait_p99_ns: 1_000, error_rate: 0.1 };
+        // Healthy: fast and failure-free.
+        let s = SloStatus::evaluate(&cfg, 500, 100, 0);
+        assert!(s.ok && s.queue_wait_ok);
+        assert_eq!(s.error_budget_remaining, 1.0);
+        // Half the budget spent: 5 failures against 10 allowed.
+        let s = SloStatus::evaluate(&cfg, 500, 100, 5);
+        assert!(s.ok);
+        assert!((s.error_budget_remaining - 0.5).abs() < 1e-12);
+        // Budget blown: error rate over objective, remaining clamps to 0.
+        let s = SloStatus::evaluate(&cfg, 500, 100, 20);
+        assert!(!s.ok);
+        assert_eq!(s.error_budget_remaining, 0.0);
+        // Latency objective violated independently of errors.
+        let s = SloStatus::evaluate(&cfg, 2_000, 100, 0);
+        assert!(!s.ok && !s.queue_wait_ok);
+        // No traffic yet: vacuously healthy.
+        let s = SloStatus::evaluate(&cfg, 0, 0, 0);
+        assert!(s.ok);
+        assert_eq!(s.error_budget_remaining, 1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Properties of job-scoped telemetry.
+//!
+//! 1. **Isolation** — two *concurrent* jobs of different cases never
+//!    bleed counters, histograms, or iteration rows into each other:
+//!    each job's sink report is bitwise identical (modulo the digest's
+//!    wall-clock exclusions) to a one-shot run of the same case recorded
+//!    into its own sink, and the two reports are distinct from each
+//!    other.
+//! 2. **Exact aggregation** — the service registry equals the exact sum
+//!    over the job sinks, counter by counter and histogram sample count
+//!    by sample count; and merging sinks into a registry is **bit-exact**
+//!    for histograms: the merged buckets equal those of recording every
+//!    sample serially into one histogram.
+
+use antmoc::RunConfig;
+use antmoc_serve::{ServeConfig, SolveRequest, SolveService};
+use antmoc_telemetry::{Histogram, MetricsRegistry, Telemetry};
+use proptest::prelude::*;
+
+fn ini(radial_spacing: f64) -> String {
+    format!(
+        "[model]\naxial_dz = 64.26\n\
+         [tracks]\nnum_azim = 4\nradial_spacing = {radial_spacing}\nnum_polar = 2\n\
+         axial_spacing = 60.0\n\
+         [solver]\ntolerance = 1e-3\nmax_iterations = 40\nmode = otf\nbackend = cpu\n"
+    )
+}
+
+/// A one-shot run recorded into a scoped sink of its own.
+fn one_shot_sink(config: &RunConfig) -> antmoc_telemetry::RunReport {
+    let sink = Telemetry::new();
+    let guard = sink.install();
+    let _ = antmoc::run(config);
+    drop(guard);
+    sink.report()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn concurrent_jobs_never_bleed_and_the_registry_sums_the_sinks(
+        da in 0u32..5,
+        db in 0u32..5,
+    ) {
+        prop_assume!(da != db);
+        let text_a = ini(2.2 + 0.08 * da as f64);
+        let text_b = ini(2.2 + 0.08 * db as f64);
+        let serial_a = one_shot_sink(&RunConfig::parse(&text_a).unwrap());
+        let serial_b = one_shot_sink(&RunConfig::parse(&text_b).unwrap());
+
+        // Both jobs in flight at once on a 2-worker service.
+        let service = SolveService::new(ServeConfig { workers: 2, ..Default::default() });
+        let ha = service.submit(SolveRequest::Ini(text_a)).unwrap();
+        let hb = service.submit(SolveRequest::Ini(text_b)).unwrap();
+        let ra = ha.wait();
+        let rb = hb.wait();
+        prop_assert!(ra.outcome.is_ok(), "job A failed");
+        prop_assert!(rb.outcome.is_ok(), "job B failed");
+
+        // Isolation: each concurrent job matches its serial twin ...
+        prop_assert_eq!(
+            ra.telemetry.deterministic_digest(),
+            serial_a.deterministic_digest(),
+            "job A's sink diverged from its one-shot twin"
+        );
+        prop_assert_eq!(
+            rb.telemetry.deterministic_digest(),
+            serial_b.deterministic_digest(),
+            "job B's sink diverged from its one-shot twin"
+        );
+        // ... and the two distinct cases stay distinct (shared sinks
+        // would have collapsed them into one merged story).
+        prop_assert!(
+            ra.telemetry.deterministic_digest() != rb.telemetry.deterministic_digest(),
+            "distinct cases produced identical telemetry"
+        );
+
+        // Exact aggregation: every counter and histogram in the registry
+        // equals the sum over the two sinks.
+        let mut counter_sums = std::collections::BTreeMap::<&str, u64>::new();
+        let mut hist_counts = std::collections::BTreeMap::<&str, u64>::new();
+        for rep in [&ra.telemetry, &rb.telemetry] {
+            for (k, v) in &rep.counters {
+                *counter_sums.entry(k).or_default() += v;
+            }
+            for (k, h) in &rep.histograms {
+                *hist_counts.entry(k).or_default() += h.count;
+            }
+        }
+        for (k, v) in &counter_sums {
+            prop_assert_eq!(service.metrics().counter(k), *v, "counter {} drifted", k);
+        }
+        for (k, c) in &hist_counts {
+            let got = service.metrics().histogram(k).map_or(0, |h| h.count());
+            prop_assert_eq!(got, *c, "histogram {} drifted", k);
+        }
+        service.shutdown();
+    }
+
+    // Merging N sinks into a registry leaves histograms identical to
+    // having recorded every sample serially — bucket for bucket.
+    #[test]
+    fn registry_histogram_merges_are_bit_exact(
+        a in proptest::collection::vec(0u64..(1u64 << 48), 1..64),
+        b in proptest::collection::vec(0u64..(1u64 << 48), 1..64),
+    ) {
+        let ta = Telemetry::new();
+        for &v in &a {
+            ta.histogram_record("isolation.test_h", v);
+        }
+        let tb = Telemetry::new();
+        for &v in &b {
+            tb.histogram_record("isolation.test_h", v);
+        }
+        let registry = MetricsRegistry::new();
+        ta.merge_into_registry(&registry);
+        tb.merge_into_registry(&registry);
+        let merged = registry.histogram("isolation.test_h").unwrap();
+
+        let mut serial = Histogram::default();
+        for &v in a.iter().chain(b.iter()) {
+            serial.record(v);
+        }
+        prop_assert!(merged == serial, "merged buckets differ from serial recording");
+        prop_assert_eq!(merged.count(), serial.count());
+        prop_assert_eq!(merged.sum(), serial.sum());
+    }
+}

@@ -238,7 +238,7 @@ fn sweep_serial_pipelined(
     comm: &mut Comm,
 ) -> crate::sweep::SweepOutcome {
     use std::sync::atomic::{AtomicU64, Ordering};
-    let tel = Telemetry::global();
+    let tel = Telemetry::current();
     let g = problem.num_groups();
     let nf = problem.num_fsrs() * g;
     let mut scratch = Vec::new();
@@ -385,7 +385,7 @@ fn run_rank(
     }
     let (mut old_density, _) = fission_production(problem, &phi);
 
-    let tel = Telemetry::global();
+    let tel = Telemetry::current();
     let mut sweep_seconds = 0.0f64;
     let mut residuals = Vec::new();
     let mut converged = false;

@@ -50,7 +50,7 @@ impl BalanceReport {
     /// Attaches this balance to the global telemetry registry as the
     /// `balance` section of the run artifact.
     pub fn attach_to_telemetry(&self) {
-        antmoc_telemetry::Telemetry::global().set_section("balance", self.to_json());
+        antmoc_telemetry::Telemetry::current().set_section("balance", self.to_json());
     }
 }
 
@@ -65,7 +65,7 @@ pub fn neutron_balance(
     k_power: f64,
     equilibration_sweeps: usize,
 ) -> BalanceReport {
-    let _span = antmoc_telemetry::Telemetry::global().span("neutron_balance");
+    let _span = antmoc_telemetry::Telemetry::current().span("neutron_balance");
     let n = problem.num_fsrs() * problem.num_groups();
     assert_eq!(phi.len(), n);
     let mut q = vec![0.0; n];

@@ -153,7 +153,7 @@ pub fn solve_eigenvalue_resumable(
     resume: Option<&SolverCheckpoint>,
     checkpoint: Option<(&CheckpointStore, usize, usize)>,
 ) -> EigenResult {
-    let tel = antmoc_telemetry::Telemetry::global();
+    let tel = antmoc_telemetry::Telemetry::current();
     let _eigen_span = tel.span("eigen");
 
     let n = problem.num_fsrs() * problem.num_groups();

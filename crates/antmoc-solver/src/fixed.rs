@@ -54,7 +54,7 @@ pub fn solve_fixed_source(
     assert_eq!(external.len(), n, "external source must be (fsr, group) shaped");
     assert!(external.iter().any(|&s| s > 0.0), "external source must be non-trivial");
 
-    let tel = antmoc_telemetry::Telemetry::global();
+    let tel = antmoc_telemetry::Telemetry::current();
     let _fixed_span = tel.span("fixed_source");
 
     let xs = &problem.xs;

@@ -85,7 +85,7 @@ pub fn select_resident(problem: &Problem, budget_bytes: u64, policy: RankPolicy)
         resident.push(Track3dId(i));
     }
     let total_segs = problem.num_3d_segments();
-    let tel = antmoc_telemetry::Telemetry::global();
+    let tel = antmoc_telemetry::Telemetry::current();
     tel.gauge_set("manager.resident_bytes", bytes as f64);
     tel.counter_add("manager.resident_segments", res_segs);
     tel.counter_add("manager.temporary_segments", total_segs - res_segs);

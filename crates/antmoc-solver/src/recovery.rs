@@ -191,7 +191,7 @@ pub fn solve_cluster_recovering(
     opts: &EigenOptions,
     rec: &RecoveryOptions,
 ) -> RecoveryResult {
-    let tel = Telemetry::global();
+    let tel = Telemetry::current();
     let s = decomp.problems.len();
     let plan = Arc::new(FaultPlan::new(rec.fault.clone()));
     let store = Arc::new(CheckpointStore::new());
@@ -632,7 +632,7 @@ fn run_slot_inner(fc: &mut FaultyComm, ctx: &GenCtx<'_>) -> Result<SlotOutcome, 
     // Iteration rows and trace markers come from slot 0 only: every
     // executor walks the same generation loop, and duplicate rows would
     // misreport the series.
-    let tel = antmoc_telemetry::Telemetry::global();
+    let tel = antmoc_telemetry::Telemetry::current();
     let narrate = slot == 0;
 
     for it in start..=opts.max_iterations {

@@ -618,7 +618,7 @@ pub fn transport_sweep_scheduled(
     banks: &FluxBanks,
     schedule: &SweepSchedule,
 ) -> SweepOutcome {
-    let tel = Telemetry::global();
+    let tel = Telemetry::current();
     let _sweep_span = tel.span("transport_sweep");
     let retries_before = CAS_RETRIES.load(Ordering::Relaxed);
 
@@ -655,9 +655,9 @@ pub fn transport_sweep_scheduled(
         .map(|(_, s, l)| (s, l))
         .reduce(|| (0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
 
-    merge_track_histograms(tel, track_ns);
+    merge_track_histograms(&tel, track_ns);
     if let Some(stats) = rayon::take_last_region_stats() {
-        record_scheduler_stats(tel, &stats);
+        record_scheduler_stats(&tel, &stats);
     }
 
     tel.counter_add("sweep.segments", segments);
@@ -704,7 +704,7 @@ pub fn transport_sweep_with(
     schedule: &SweepSchedule,
     arena: &mut SweepArena,
 ) -> SweepOutcome {
-    let tel = Telemetry::global();
+    let tel = Telemetry::current();
     let _sweep_span = tel.span("transport_sweep");
     let retries_before = CAS_RETRIES.load(Ordering::Relaxed);
 
@@ -872,10 +872,10 @@ pub fn transport_sweep_with(
         }
     };
 
-    merge_track_histograms(tel, track_ns);
+    merge_track_histograms(&tel, track_ns);
 
     if let Some(stats) = rayon::take_last_region_stats() {
-        record_scheduler_stats(tel, &stats);
+        record_scheduler_stats(&tel, &stats);
     }
 
     tel.counter_add("sweep.segments", segments);

@@ -158,6 +158,19 @@ impl Histogram {
         self.max
     }
 
+    /// Saturating sum of all recorded samples (the Prometheus `_sum`
+    /// series of the exposition).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Iterates the non-empty buckets as `(upper_edge, count)` pairs in
+    /// ascending value order — the exact bucket contents, for cumulative
+    /// (`le=`) exposition renderings and bit-exact merge checks.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (bucket_high(i), c))
+    }
+
     /// Snapshot of the quantiles that land in the run report.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {

@@ -16,19 +16,30 @@
 //! * [`Telemetry::report`] — snapshots everything into a [`RunReport`]
 //!   that serializes to pretty JSON (see `report.rs` for the schema).
 //!
-//! Handles are cheap clones of an `Arc`; the process-wide instance from
-//! [`Telemetry::global`] is what the solver/track/cluster/gpusim hot
-//! paths record into, so binaries can `reset()` at run start and
-//! `report()` at the end without threading a handle through every
-//! signature.
+//! Handles are cheap clones of an `Arc`. Library hot paths record into
+//! [`Telemetry::current`]: the innermost instance installed on the
+//! calling thread via [`Telemetry::install`], falling back to the
+//! process-wide [`Telemetry::global`] when nothing is installed. One-shot
+//! binaries keep the old contract (`reset()` at run start, `report()` at
+//! the end, no handle threading); multi-tenant drivers like
+//! `antmoc-serve` install a private sink per job so concurrent runs never
+//! entangle their reports. Installed contexts follow work onto the rayon
+//! shim's spawned workers via its region-context hooks, so parallel
+//! regions record into the job that drove them.
+//!
+//! Completed sinks fold into a service-level [`metrics::MetricsRegistry`]
+//! (monotonic counters, gauge high-waters, exact histogram merges) with a
+//! Prometheus-style text exposition for scraping.
 
 pub mod hist;
 pub mod json;
+pub mod metrics;
 mod report;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramSummary};
 pub use json::Json;
+pub use metrics::MetricsRegistry;
 pub use report::{GaugeStats, RunReport, SpanStats};
 pub use trace::{TraceEvent, DEFAULT_TRACE_CAPACITY};
 
@@ -56,6 +67,46 @@ thread_local! {
     /// path nesting. Keyed by registry id so private test instances and
     /// the global instance never interleave paths.
     static SPAN_STACKS: RefCell<Vec<ThreadSpanStack>> = const { RefCell::new(Vec::new()) };
+
+    /// Stack of telemetry instances installed on this thread; the top is
+    /// what [`Telemetry::current`] resolves to. A stack (not a slot) so
+    /// nested installs — a job sink installed inside a test that already
+    /// installed one — restore correctly.
+    static CURRENT: RefCell<Vec<Telemetry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Registers the rayon-shim region-context hooks that carry the
+/// installed telemetry context onto spawned worker threads. Runs once,
+/// lazily, on the first `install()`: processes that never scope their
+/// telemetry never pay for (or interfere with) propagation.
+fn register_worker_propagation() {
+    use std::any::Any;
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        rayon::set_region_context_hooks(
+            || Telemetry::try_current().map(|t| Box::new(t) as Box<dyn Any + Send + Sync>),
+            |ctx| {
+                let t = ctx.downcast_ref::<Telemetry>().expect("telemetry region context");
+                Box::new(t.install())
+            },
+        );
+    });
+}
+
+/// RAII guard from [`Telemetry::install`]; uninstalls the scoped context
+/// (restoring the previous one) on drop. Deliberately `!Send`: the
+/// context is a property of the installing thread, and dropping the
+/// guard elsewhere would unbalance that thread's stack.
+pub struct ScopeGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
 }
 
 /// Runs `f` on this thread's stack for `registry`, first discarding the
@@ -135,10 +186,36 @@ impl Telemetry {
         Self::default()
     }
 
-    /// The process-wide registry the library hot paths record into.
+    /// The process-wide registry — the fallback sink when no scoped
+    /// instance is installed, and the home of service-level metrics that
+    /// must stay out of per-job reports.
     pub fn global() -> &'static Telemetry {
         static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
         GLOBAL.get_or_init(Telemetry::new)
+    }
+
+    /// Installs this instance as the calling thread's telemetry context
+    /// for the lifetime of the returned guard: [`Telemetry::current`]
+    /// resolves to it, on this thread and on every rayon-shim worker a
+    /// parallel region driven from this thread spawns. Installs nest;
+    /// dropping the guard restores the previous context.
+    pub fn install(&self) -> ScopeGuard {
+        register_worker_propagation();
+        CURRENT.with(|c| c.borrow_mut().push(self.clone()));
+        ScopeGuard { _not_send: std::marker::PhantomData }
+    }
+
+    /// The innermost instance installed on this thread, if any.
+    pub fn try_current() -> Option<Telemetry> {
+        CURRENT.with(|c| c.borrow().last().cloned())
+    }
+
+    /// The telemetry instance library code should record into: the
+    /// innermost installed context, else a handle to the global
+    /// instance. One-shot binaries that never `install()` see exactly
+    /// the old global behavior.
+    pub fn current() -> Telemetry {
+        Self::try_current().unwrap_or_else(|| Telemetry::global().clone())
     }
 
     /// Opens a RAII span. While the guard lives, spans opened on the
@@ -147,13 +224,13 @@ impl Telemetry {
     ///
     /// Names are `&'static str` on purpose: hot paths must not allocate
     /// to be observable.
-    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+    pub fn span(&self, name: &'static str) -> SpanGuard {
         let generation = self.registry.span_generation.load(Ordering::Relaxed);
         let path = with_span_stack(self.registry.id, generation, |stack| {
             stack.push(name);
             stack.join("/")
         });
-        SpanGuard { telemetry: self, path: Some(path), generation, start: Instant::now() }
+        SpanGuard { telemetry: self.clone(), path: Some(path), generation, start: Instant::now() }
     }
 
     /// Adds to a counter, saturating at `u64::MAX` (a tripped counter
@@ -220,6 +297,18 @@ impl Telemetry {
         self.registry.trace.enabled()
     }
 
+    /// Labels the calling thread's timeline lane in the Chrome trace
+    /// export (`thread_name` metadata). Lanes default to the OS thread
+    /// name; drivers that multiplex work onto long-lived threads (e.g. a
+    /// serve worker picking up a job) can re-label per unit of work.
+    /// No-op when tracing is off.
+    pub fn set_trace_thread_label(&self, label: &str) {
+        if !self.trace_enabled() {
+            return;
+        }
+        self.registry.trace.set_label(self.registry.id, label);
+    }
+
     /// Events discarded after the trace budget filled.
     pub fn trace_dropped(&self) -> u64 {
         self.registry.trace.dropped()
@@ -268,7 +357,7 @@ impl Telemetry {
     /// [`Telemetry::span`] this leaves the span aggregates untouched —
     /// use it where a timeline entry is wanted without a new span path.
     /// Inert (one atomic load, no allocation) when tracing is off.
-    pub fn trace_scope(&self, name: &str, args: &[(&str, Json)]) -> TraceScope<'_> {
+    pub fn trace_scope(&self, name: &str, args: &[(&str, Json)]) -> TraceScope {
         if !self.trace_enabled() {
             return TraceScope {
                 telemetry: None,
@@ -278,7 +367,7 @@ impl Telemetry {
             };
         }
         TraceScope {
-            telemetry: Some(self),
+            telemetry: Some(self.clone()),
             name: name.to_string(),
             args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
             start: Some(Instant::now()),
@@ -370,9 +459,11 @@ impl Telemetry {
     }
 }
 
-/// RAII guard created by [`Telemetry::span`]; records on drop.
-pub struct SpanGuard<'a> {
-    telemetry: &'a Telemetry,
+/// RAII guard created by [`Telemetry::span`]; records on drop. Owns a
+/// handle (an `Arc` clone) so spans can be opened on temporaries like
+/// `Telemetry::current().span("phase")`.
+pub struct SpanGuard {
+    telemetry: Telemetry,
     /// `Some` until the guard fires; `take`n in drop.
     path: Option<String>,
     /// The reset generation the guard was opened under; a mismatch at
@@ -381,14 +472,14 @@ pub struct SpanGuard<'a> {
     start: Instant,
 }
 
-impl SpanGuard<'_> {
+impl SpanGuard {
     /// The `/`-joined path this guard will record under.
     pub fn path(&self) -> &str {
         self.path.as_deref().unwrap_or("")
     }
 }
 
-impl Drop for SpanGuard<'_> {
+impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(path) = self.path.take() else { return };
         let registry = &self.telemetry.registry;
@@ -422,16 +513,16 @@ impl Drop for SpanGuard<'_> {
 
 /// RAII guard created by [`Telemetry::trace_scope`]; emits one complete
 /// timeline event on drop (and nothing when tracing was off at open).
-pub struct TraceScope<'a> {
-    telemetry: Option<&'a Telemetry>,
+pub struct TraceScope {
+    telemetry: Option<Telemetry>,
     name: String,
     args: Vec<(String, Json)>,
     start: Option<Instant>,
 }
 
-impl Drop for TraceScope<'_> {
+impl Drop for TraceScope {
     fn drop(&mut self) {
-        let (Some(telemetry), Some(start)) = (self.telemetry, self.start) else { return };
+        let (Some(telemetry), Some(start)) = (self.telemetry.take(), self.start) else { return };
         let registry = &telemetry.registry;
         registry.trace.record(
             registry.id,
@@ -510,6 +601,72 @@ mod tests {
                 assert!(s.min_s <= s.max_s);
             }
         }
+    }
+
+    #[test]
+    fn install_scopes_current_and_restores_on_drop() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        // Nothing installed: current() falls back to the global instance.
+        assert!(Telemetry::try_current().is_none());
+        assert!(Arc::ptr_eq(&Telemetry::current().registry, &Telemetry::global().registry));
+        {
+            let _ga = a.install();
+            assert!(Arc::ptr_eq(&Telemetry::current().registry, &a.registry));
+            {
+                let _gb = b.install();
+                assert!(Arc::ptr_eq(&Telemetry::current().registry, &b.registry));
+            }
+            // Nested install popped; the outer context is back.
+            assert!(Arc::ptr_eq(&Telemetry::current().registry, &a.registry));
+        }
+        assert!(Telemetry::try_current().is_none());
+    }
+
+    #[test]
+    fn installed_context_reaches_rayon_workers() {
+        use rayon::prelude::*;
+        let sink = Telemetry::new();
+        let _g = sink.install();
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..1000usize).into_par_iter().for_each(|_| {
+                Telemetry::current().counter_add("ctx.items", 1);
+            });
+        });
+        // Every item — including those executed on spawned workers —
+        // recorded into the installed sink, none into the global.
+        assert_eq!(sink.report().counter("ctx.items"), 1000);
+        assert_eq!(Telemetry::global().counter_value("ctx.items"), 0);
+    }
+
+    #[test]
+    fn concurrent_installs_stay_thread_isolated() {
+        std::thread::scope(|s| {
+            for tag in 0..4u64 {
+                s.spawn(move || {
+                    let sink = Telemetry::new();
+                    let _g = sink.install();
+                    for _ in 0..100 {
+                        Telemetry::current().counter_add("ctx.tagged", tag + 1);
+                    }
+                    assert_eq!(sink.report().counter("ctx.tagged"), 100 * (tag + 1));
+                });
+            }
+        });
+        assert_eq!(Telemetry::global().counter_value("ctx.tagged"), 0);
+    }
+
+    #[test]
+    fn span_guard_outlives_its_temporary_handle() {
+        let sink = Telemetry::new();
+        let _g = sink.install();
+        {
+            // The handle `current()` returns is a temporary; the guard
+            // must own its clone to record on drop.
+            let _s = Telemetry::current().span("owned");
+        }
+        assert_eq!(sink.report().spans["owned"].count, 1);
     }
 
     #[test]

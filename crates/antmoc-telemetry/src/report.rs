@@ -273,6 +273,72 @@ impl RunReport {
         Ok(report)
     }
 
+    /// A canonical rendering of the report's **deterministic** content —
+    /// the bitwise-identity contract between a one-shot run and the same
+    /// case run as a scoped service job.
+    ///
+    /// Wall-clock measurements can never match across runs, and a work-
+    /// stealing scheduler makes steal/contention tallies load-dependent
+    /// even at fixed inputs. Everything else must be bit-identical, so
+    /// the digest covers:
+    ///
+    /// * **meta** — every entry, floats as exact bit patterns;
+    /// * **spans** — path and completion count (no seconds);
+    /// * **counters/gauges/histogram summaries** — exact values (gauge
+    ///   floats as bit patterns), excluding time-valued keys (suffixes
+    ///   `_ns`/`_us`/`_ms`/`_s`/`_seconds`) and scheduling-noise keys
+    ///   (see [`is_digest_excluded`]);
+    /// * **iterations** — every row in order, with time-valued and
+    ///   contention fields scrubbed;
+    /// * **sections** — full content with time-valued object fields
+    ///   scrubbed recursively; the per-worker `sweep_workers` section is
+    ///   dropped wholesale (its item split is scheduling-dependent).
+    ///
+    /// Two reports with equal digests agree on every deterministic
+    /// metric bit-for-bit. The rendering is line-oriented so a failed
+    /// comparison diffs readably.
+    pub fn deterministic_digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (k, v) in &self.meta {
+            let _ = write!(out, "meta {k}=");
+            write_canonical_json(v, &mut out);
+            out.push('\n');
+        }
+        for (path, s) in &self.spans {
+            let _ = writeln!(out, "span {path} count={}", s.count);
+        }
+        for (k, v) in self.counters.iter().filter(|(k, _)| !is_digest_excluded(k)) {
+            let _ = writeln!(out, "counter {k} {v}");
+        }
+        for (k, g) in self.gauges.iter().filter(|(k, _)| !is_digest_excluded(k)) {
+            let _ = writeln!(
+                out,
+                "gauge {k} last={:016x} high={:016x}",
+                g.last.to_bits(),
+                g.high_water.to_bits()
+            );
+        }
+        for (k, h) in self.histograms.iter().filter(|(k, _)| !is_digest_excluded(k)) {
+            let _ = writeln!(
+                out,
+                "hist {k} count={} p50={} p90={} p99={} max={}",
+                h.count, h.p50, h.p90, h.p99, h.max
+            );
+        }
+        for (i, row) in self.iterations.iter().enumerate() {
+            let _ = write!(out, "iter {i} ");
+            write_canonical_json(&scrub_json(row), &mut out);
+            out.push('\n');
+        }
+        for (k, v) in self.sections.iter().filter(|(k, _)| k.as_str() != "sweep_workers") {
+            let _ = write!(out, "section {k} ");
+            write_canonical_json(&scrub_json(v), &mut out);
+            out.push('\n');
+        }
+        out
+    }
+
     /// Writes the pretty JSON artifact, creating parent directories.
     pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let path = path.as_ref();
@@ -283,6 +349,98 @@ impl RunReport {
         }
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.to_json_string().as_bytes())
+    }
+}
+
+/// Metric keys excluded from [`RunReport::deterministic_digest`]:
+/// wall-clock-valued keys (time-unit suffixes) and keys whose magnitude
+/// depends on scheduling or hardware contention rather than the case
+/// being solved (steal traffic, CAS retries, receive-wait shapes, trace
+/// bookkeeping). Mirrors the spirit of `report_diff`'s noisy-key list.
+pub fn is_digest_excluded(key: &str) -> bool {
+    const TIME_SUFFIXES: &[&str] = &["_ns", "_us", "_ms", "_s", "_seconds"];
+    const NOISE_PREFIXES: &[&str] = &[
+        "sweep.steal",
+        "sweep.cas",
+        "sweep.load_ratio",
+        "sweep.worker_busy",
+        "sweep.tally_bytes",
+        "comm.retries",
+        "comm.recv",
+        "comm.collective_wait",
+        "comm.overlap",
+        "trace.",
+    ];
+    TIME_SUFFIXES.iter().any(|s| key.ends_with(s))
+        || NOISE_PREFIXES.iter().any(|p| key.starts_with(p))
+}
+
+/// Iteration-row fields scrubbed from the digest: per-iteration timings
+/// and contention tallies.
+fn is_row_field_excluded(key: &str) -> bool {
+    is_digest_excluded(key)
+        || matches!(key, "cas_retries" | "steals" | "steal_attempts" | "load_ratio")
+}
+
+/// Recursively drops excluded object fields from free-form JSON (rows,
+/// sections) so only deterministic content reaches the digest.
+fn scrub_json(value: &Json) -> Json {
+    match value {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .filter(|(k, _)| !is_row_field_excluded(k))
+                .map(|(k, v)| (k.clone(), scrub_json(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(scrub_json).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Canonical, bit-exact JSON rendering for digests: floats print as hex
+/// bit patterns (the pretty printer's shortest-roundtrip form is also
+/// exact, but bits make mismatches unambiguous in a diff).
+fn write_canonical_json(value: &Json, out: &mut String) {
+    use std::fmt::Write as _;
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Json::Uint(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Json::Num(n) => {
+            let _ = write!(out, "f64:{:016x}", n.to_bits());
+        }
+        Json::Str(s) => {
+            let _ = write!(out, "{s:?}");
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canonical_json(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{k:?}:");
+                write_canonical_json(v, out);
+            }
+            out.push('}');
+        }
     }
 }
 
@@ -368,6 +526,66 @@ mod tests {
         let mut expect = r.clone();
         expect.gauges.remove("bad.ratio");
         assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn digest_ignores_wall_clock_but_keeps_content() {
+        let mut a = sample_report();
+        let mut b = sample_report();
+        // Divergent wall time, identical work.
+        b.spans.get_mut("eigen/transport_sweep").unwrap().total_s *= 7.5;
+        b.spans.get_mut("eigen/transport_sweep").unwrap().max_s += 1.0;
+        a.counters.insert("sweep.steals".into(), 17);
+        b.counters.insert("sweep.steals".into(), 3);
+        a.histograms.insert(
+            "sweep.track_ns".into(),
+            HistogramSummary { count: 10, p50: 1, p90: 2, p99: 3, max: 4 },
+        );
+        b.histograms.remove("sweep.track_ns");
+        a.iterations[0] = Json::Obj(vec![
+            ("it".into(), Json::Int(1)),
+            ("k".into(), Json::Num(1.05)),
+            ("residual".into(), Json::Num(3.2e-3)),
+            ("sweep_s".into(), Json::Num(0.123)),
+            ("cas_retries".into(), Json::Uint(42)),
+        ]);
+        b.iterations[0] = Json::Obj(vec![
+            ("it".into(), Json::Int(1)),
+            ("k".into(), Json::Num(1.05)),
+            ("residual".into(), Json::Num(3.2e-3)),
+            ("sweep_s".into(), Json::Num(9.9)),
+            ("cas_retries".into(), Json::Uint(7)),
+        ]);
+        assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+
+        // Deterministic content differences must show.
+        b.counters.insert("sweep.segments".into(), 1);
+        assert_ne!(a.deterministic_digest(), b.deterministic_digest());
+    }
+
+    #[test]
+    fn digest_is_exact_on_float_bits() {
+        let mut a = sample_report();
+        let mut b = sample_report();
+        a.set_meta_num("tolerance", 1e-4);
+        b.set_meta_num("tolerance", 1e-4 + f64::EPSILON * 1e-4);
+        assert_ne!(
+            a.deterministic_digest(),
+            b.deterministic_digest(),
+            "a one-ulp meta difference must change the digest"
+        );
+    }
+
+    #[test]
+    fn digest_drops_the_per_worker_section() {
+        let mut a = sample_report();
+        let mut b = sample_report();
+        a.set_section("sweep_workers", Json::Obj(vec![("items".into(), Json::Uint(10))]));
+        b.set_section("sweep_workers", Json::Obj(vec![("items".into(), Json::Uint(99))]));
+        assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+        // Deterministic sections still count.
+        b.set_section("balance", Json::Obj(vec![("k_balance".into(), Json::Num(2.0))]));
+        assert_ne!(a.deterministic_digest(), b.deterministic_digest());
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub struct TraceEvent {
 /// A thread's private event buffer; `tid` is its registration index.
 struct ThreadBuf {
     tid: u64,
+    /// Human label for the lane (`thread_name` metadata in the export):
+    /// the OS thread name at registration, overridable via
+    /// [`TraceCollector::set_label`].
+    label: Mutex<String>,
     events: Mutex<Vec<TraceEvent>>,
 }
 
@@ -158,8 +162,16 @@ impl TraceCollector {
                 return buf.clone();
             }
             let mut threads = self.threads.lock();
-            let buf =
-                Arc::new(ThreadBuf { tid: threads.len() as u64, events: Mutex::new(Vec::new()) });
+            let tid = threads.len() as u64;
+            let label = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            let buf = Arc::new(ThreadBuf {
+                tid,
+                label: Mutex::new(label),
+                events: Mutex::new(Vec::new()),
+            });
             threads.push(buf.clone());
             drop(threads);
             // Bound the cache: stale registries (dropped test instances)
@@ -170,6 +182,13 @@ impl TraceCollector {
             cache.push((registry_id, buf.clone()));
             buf
         })
+    }
+
+    /// Renames the calling thread's timeline lane (the `thread_name`
+    /// metadata event in the export), registering the thread if needed.
+    pub(crate) fn set_label(self: &Arc<Self>, registry_id: u64, label: &str) {
+        let buf = self.thread_buf(registry_id);
+        *buf.label.lock() = label.to_string();
     }
 
     /// Drops all stored events and zeroes the budget and drop counters;
@@ -197,32 +216,62 @@ impl TraceCollector {
         out
     }
 
-    /// The Chrome `trace_event` document (object form).
+    /// The Chrome `trace_event` document (object form). Leads with
+    /// `process_name`/`thread_name` metadata events (`ph: "M"`) so the
+    /// viewer labels each lane with its worker or job name instead of a
+    /// bare thread id.
     pub(crate) fn to_chrome_json(&self) -> Json {
-        let events = self
-            .snapshot()
-            .into_iter()
-            .map(|(tid, e)| {
-                let mut obj = vec![
-                    ("name".to_string(), Json::Str(e.name)),
-                    ("ph".to_string(), Json::Str(e.ph.to_string())),
-                    ("ts".to_string(), Json::Uint(e.ts_us)),
-                ];
-                if e.ph == 'X' {
-                    obj.push(("dur".to_string(), Json::Uint(e.dur_us)));
-                }
-                obj.push(("pid".to_string(), Json::Uint(0)));
-                obj.push(("tid".to_string(), Json::Uint(tid)));
-                if e.ph == 'i' {
-                    // Instant scope: thread-local tick mark.
-                    obj.push(("s".to_string(), Json::Str("t".to_string())));
-                }
-                if !e.args.is_empty() {
-                    obj.push(("args".to_string(), Json::Obj(e.args)));
-                }
-                Json::Obj(obj)
-            })
-            .collect();
+        let mut metadata: Vec<Json> = Vec::new();
+        {
+            let threads = self.threads.lock();
+            if !threads.is_empty() {
+                metadata.push(Json::Obj(vec![
+                    ("name".to_string(), Json::Str("process_name".to_string())),
+                    ("ph".to_string(), Json::Str("M".to_string())),
+                    ("ts".to_string(), Json::Uint(0)),
+                    ("pid".to_string(), Json::Uint(0)),
+                    ("tid".to_string(), Json::Uint(0)),
+                    (
+                        "args".to_string(),
+                        Json::Obj(vec![("name".to_string(), Json::Str("antmoc".to_string()))]),
+                    ),
+                ]));
+            }
+            for t in threads.iter() {
+                metadata.push(Json::Obj(vec![
+                    ("name".to_string(), Json::Str("thread_name".to_string())),
+                    ("ph".to_string(), Json::Str("M".to_string())),
+                    ("ts".to_string(), Json::Uint(0)),
+                    ("pid".to_string(), Json::Uint(0)),
+                    ("tid".to_string(), Json::Uint(t.tid)),
+                    (
+                        "args".to_string(),
+                        Json::Obj(vec![("name".to_string(), Json::Str(t.label.lock().clone()))]),
+                    ),
+                ]));
+            }
+        }
+        let recorded = self.snapshot().into_iter().map(|(tid, e)| {
+            let mut obj = vec![
+                ("name".to_string(), Json::Str(e.name)),
+                ("ph".to_string(), Json::Str(e.ph.to_string())),
+                ("ts".to_string(), Json::Uint(e.ts_us)),
+            ];
+            if e.ph == 'X' {
+                obj.push(("dur".to_string(), Json::Uint(e.dur_us)));
+            }
+            obj.push(("pid".to_string(), Json::Uint(0)));
+            obj.push(("tid".to_string(), Json::Uint(tid)));
+            if e.ph == 'i' {
+                // Instant scope: thread-local tick mark.
+                obj.push(("s".to_string(), Json::Str("t".to_string())));
+            }
+            if !e.args.is_empty() {
+                obj.push(("args".to_string(), Json::Obj(e.args)));
+            }
+            Json::Obj(obj)
+        });
+        let events: Vec<Json> = metadata.into_iter().chain(recorded).collect();
         Json::Obj(vec![
             ("traceEvents".to_string(), Json::Arr(events)),
             ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
@@ -312,10 +361,19 @@ mod tests {
         );
         c.record(3, instant("checkpoint"));
         let doc = c.to_chrome_json();
-        let events = match doc.get("traceEvents") {
+        let all = match doc.get("traceEvents") {
             Some(Json::Arr(events)) => events,
             other => panic!("traceEvents missing: {other:?}"),
         };
+        // Metadata lanes lead: one process_name plus one thread_name per
+        // registered thread (a single thread recorded here).
+        let (meta, events): (Vec<&Json>, Vec<&Json>) =
+            all.iter().partition(|e| e.get("ph").and_then(Json::as_str) == Some("M"));
+        let meta_names: Vec<_> =
+            meta.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+        assert_eq!(meta_names, ["process_name", "thread_name"]);
+        let lane = meta[1].get("args").and_then(|a| a.get("name")).and_then(Json::as_str);
+        assert!(lane.is_some_and(|l| !l.is_empty()), "thread lane must be labeled: {lane:?}");
         assert_eq!(events.len(), 2);
         let slice = &events[0];
         assert_eq!(slice.get("ph").and_then(Json::as_str), Some("X"));

@@ -95,7 +95,7 @@ pub struct TrackLayout {
 impl TrackLayout {
     /// Generates everything for a geometry and its axial model.
     pub fn generate(geometry: &Geometry, axial: &AxialModel, params: TrackParams) -> Self {
-        let tel = antmoc_telemetry::Telemetry::global();
+        let tel = antmoc_telemetry::Telemetry::current();
         let _gen_span = tel.span("track_generation");
         let tracks2d = {
             let _s = tel.span("tracks_2d");

@@ -128,7 +128,7 @@ impl SegmentStore3d {
         fsr3d: &Fsr3dMap,
     ) -> Self {
         use rayon::prelude::*;
-        let tel = antmoc_telemetry::Telemetry::global();
+        let tel = antmoc_telemetry::Telemetry::current();
         let _trace_span = tel.span("segments_3d_store");
         let per_track: Vec<Vec<Segment3dCompact>> = selected
             .par_iter()
@@ -203,7 +203,7 @@ pub fn count_segments_per_track(
     axial: &AxialModel,
 ) -> Vec<u32> {
     use rayon::prelude::*;
-    let _span = antmoc_telemetry::Telemetry::global().span("otf_count_segments");
+    let _span = antmoc_telemetry::Telemetry::current().span("otf_count_segments");
     (0..t3.num_tracks() as u32)
         .into_par_iter()
         .map(|i| {
@@ -230,28 +230,30 @@ pub fn estimate_volumes(
     axial: &AxialModel,
     fsr3d: &Fsr3dMap,
 ) -> Vec<f64> {
-    use rayon::prelude::*;
-    let _span = antmoc_telemetry::Telemetry::global().span("otf_estimate_volumes");
+    let _span = antmoc_telemetry::Telemetry::current().span("otf_estimate_volumes");
     let nf = fsr3d.len();
-    let chunks: Vec<Vec<f64>> = (0..t3.num_tracks() as u32)
-        .into_par_iter()
-        .fold(
-            || vec![0.0f64; nf],
-            |mut acc, i| {
-                let id = Track3dId(i);
-                let info = t3.info(id, t2, chains);
-                let w_a = t2.quadrature.weight(info.azim);
-                let w_p = t3.polar.weight(info.polar);
-                let area = t3.tube_area(id, t2, chains);
-                let coeff = w_a * w_p * area / (2.0 * std::f64::consts::PI);
-                let base = store2d.of(info.track2d);
-                trace_3d(&info, base, axial, |fsr, cell, len| {
-                    acc[fsr3d.id(fsr, cell as usize).0 as usize] += coeff * len;
-                });
-                acc
-            },
-        )
-        .collect();
+    // Static partition, not the stealing fold: the track-to-worker map
+    // (and hence the FP accumulation order) must be a pure function of
+    // (tracks, workers) so two builds of the same case produce the same
+    // volume bits — everything downstream (keff, pin rates) inherits
+    // ulp-level divergence otherwise.
+    let chunks: Vec<Vec<f64>> = rayon::static_partition_fold(
+        t3.num_tracks(),
+        |_| vec![0.0f64; nf],
+        |mut acc, i| {
+            let id = Track3dId(i as u32);
+            let info = t3.info(id, t2, chains);
+            let w_a = t2.quadrature.weight(info.azim);
+            let w_p = t3.polar.weight(info.polar);
+            let area = t3.tube_area(id, t2, chains);
+            let coeff = w_a * w_p * area / (2.0 * std::f64::consts::PI);
+            let base = store2d.of(info.track2d);
+            trace_3d(&info, base, axial, |fsr, cell, len| {
+                acc[fsr3d.id(fsr, cell as usize).0 as usize] += coeff * len;
+            });
+            acc
+        },
+    );
     let mut out = vec![0.0f64; nf];
     for c in chunks {
         for (o, v) in out.iter_mut().zip(c) {

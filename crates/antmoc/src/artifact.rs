@@ -10,7 +10,7 @@ use crate::pipeline::RunReport;
 /// Embeds the pipeline outcome as the `run` section of the global
 /// telemetry and returns the combined snapshot.
 pub fn run_artifact(report: &RunReport) -> TelemetryReport {
-    let tel = Telemetry::global();
+    let tel = Telemetry::current();
     tel.set_section("run", run_section(report));
     let mut artifact = tel.report();
     // Comm volume and fault counters are part of the artifact contract;
@@ -48,7 +48,7 @@ pub fn write_trace_artifact(
     dir: impl AsRef<std::path::Path>,
     case: &str,
 ) -> std::io::Result<Option<std::path::PathBuf>> {
-    let tel = Telemetry::global();
+    let tel = Telemetry::current();
     if !tel.trace_enabled() {
         return Ok(None);
     }

@@ -32,8 +32,8 @@ pub use artifact::{run_artifact, write_run_artifact, write_trace_artifact};
 pub use config::{BackendConfig, ModelSpec, RunConfig};
 pub use output::PinRates;
 pub use pipeline::{
-    build_setup, run, run_with_setup, run_with_setup_arena, BuiltModel, RunReport, SolveSetup,
-    StageTimings,
+    build_setup, record_run_meta, run, run_with_setup, run_with_setup_arena, BuiltModel, RunReport,
+    SolveSetup, StageTimings,
 };
 
 // Re-export the building blocks for example/bench authors.

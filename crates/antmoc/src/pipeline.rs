@@ -118,9 +118,15 @@ pub struct RunReport {
     pub comm_bytes: u64,
 }
 
-/// Runs the full pipeline for a configuration.
-pub fn run(config: &RunConfig) -> RunReport {
-    let tel = antmoc_telemetry::Telemetry::global();
+/// Stamps run identification (case, backend, mode, schedule, kernel,
+/// decomposition, exchange) and the tracing switch onto the calling
+/// thread's [`Telemetry::current`] sink. [`run`] calls this first;
+/// multi-tenant drivers that compose [`build_setup`] +
+/// [`run_with_setup`] directly under a scoped sink (see `antmoc-serve`)
+/// call it themselves so a job's report carries exactly the meta a
+/// one-shot run would.
+pub fn record_run_meta(config: &RunConfig) {
+    let tel = antmoc_telemetry::Telemetry::current();
     // Event-timeline tracing: the config switch or ANTMOC_TRACE=1 turns
     // it on; ANTMOC_TRACE=0 forces it off regardless of the config.
     let trace_on = match std::env::var("ANTMOC_TRACE") {
@@ -166,6 +172,13 @@ pub fn run(config: &RunConfig) -> RunReport {
             ExchangeMode::Pipelined => "pipelined",
         },
     );
+}
+
+/// Runs the full pipeline for a configuration.
+pub fn run(config: &RunConfig) -> RunReport {
+    record_run_meta(config);
+    let tel = antmoc_telemetry::Telemetry::current();
+    let (nx, ny, nz) = config.decomposition;
 
     if nx * ny * nz == 1 {
         let setup = build_setup(config);
@@ -203,7 +216,7 @@ pub fn run(config: &RunConfig) -> RunReport {
 /// single-domain concern (decomposed runs go through [`run`]).
 pub fn build_setup(config: &RunConfig) -> SolveSetup {
     assert_eq!(config.decomposition, (1, 1, 1), "build_setup is single-domain only");
-    let tel = antmoc_telemetry::Telemetry::global();
+    let tel = antmoc_telemetry::Telemetry::current();
 
     // Stage 2: geometry construction.
     let t0 = Instant::now();
@@ -267,7 +280,7 @@ pub fn run_with_setup_arena(
     setup: &SolveSetup,
     arena: SweepArena,
 ) -> (RunReport, SweepArena) {
-    let tel = antmoc_telemetry::Telemetry::global();
+    let tel = antmoc_telemetry::Telemetry::current();
     let problem = &setup.problem;
     let model = &setup.model;
 
@@ -466,7 +479,7 @@ fn material_flux(
 }
 
 fn run_decomposed(config: &RunConfig, model: C5g7, geometry_s: f64) -> RunReport {
-    let tel = antmoc_telemetry::Telemetry::global();
+    let tel = antmoc_telemetry::Telemetry::current();
     let (nx, ny, nz) = config.decomposition;
     let t = Instant::now();
     let decomp = {

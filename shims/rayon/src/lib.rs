@@ -21,6 +21,7 @@
 //! `available_parallelism`. Only the adapters the solver/track/gpusim
 //! crates actually call are provided; grow it as call sites grow.
 
+use std::any::Any;
 use std::cell::{Cell, RefCell, UnsafeCell};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -129,6 +130,43 @@ impl<T> WorkerLocal<T> {
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
         self.slots.iter_mut().map(|c| c.get_mut())
     }
+}
+
+/// Captures a thread-bound context on the calling thread, to be
+/// re-installed on every worker thread a parallel region spawns.
+pub type ContextCaptureFn = fn() -> Option<Box<dyn Any + Send + Sync>>;
+
+/// Installs a captured context on a worker thread. The returned guard is
+/// held for the worker's lifetime and dropped (uninstalling the context)
+/// when the worker finishes its share of the region.
+pub type ContextInstallFn = fn(&(dyn Any + Send + Sync)) -> Box<dyn Any>;
+
+static CONTEXT_HOOKS: OnceLock<(ContextCaptureFn, ContextInstallFn)> = OnceLock::new();
+
+/// Registers process-wide context-propagation hooks.
+///
+/// The shim spawns fresh scoped threads for every multi-worker region, so
+/// thread-local state on the calling thread (e.g. a scoped telemetry
+/// sink) is invisible to workers unless explicitly carried across. Before
+/// spawning, each scheduler calls `capture` once on the calling thread;
+/// if it returns a context, `install` runs on every *spawned* worker
+/// (worker 0 is the calling thread and already has the context) before
+/// any tasks execute, and the guard it returns drops when the worker is
+/// done.
+///
+/// First registration wins; returns `false` if hooks were already set.
+/// Hooks are deliberately plain `fn` pointers: registration is about
+/// wiring a subsystem in once, not about per-region closures.
+pub fn set_region_context_hooks(capture: ContextCaptureFn, install: ContextInstallFn) -> bool {
+    CONTEXT_HOOKS.set((capture, install)).is_ok()
+}
+
+/// Snapshot of the calling thread's context for one region, paired with
+/// the installer to run on each spawned worker. `None` when no hooks are
+/// registered or the capture hook reports nothing to propagate.
+fn capture_region_context() -> Option<(ContextInstallFn, Box<dyn Any + Send + Sync>)> {
+    let (capture, install) = CONTEXT_HOOKS.get()?;
+    Some((*install, capture()?))
 }
 
 /// Workers the current thread's parallel calls will use.
@@ -312,8 +350,20 @@ where
         (log, finish(state))
     };
 
+    let ctx = capture_region_context();
+    let ctx = &ctx;
     let mut results: Vec<(WorkerLog, R)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (1..workers).map(|w| s.spawn(move || worker_loop(w))).collect();
+        let handles: Vec<_> = (1..workers)
+            .map(|w| {
+                std::thread::Builder::new()
+                    .name(format!("worker-{w}"))
+                    .spawn_scoped(s, move || {
+                        let _ctx = ctx.as_ref().map(|(install, c)| install(c.as_ref()));
+                        worker_loop(w)
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
         let mine = worker_loop(0); // the calling thread is worker 0
         let mut all = vec![mine];
         all.extend(handles.into_iter().map(|h| h.join().expect("worker panicked")));
@@ -377,12 +427,22 @@ where
         (WorkerLog { busy, wait: Duration::ZERO, items, steal_attempts: 0, steals: 0 }, acc)
     };
     let run_one = &run_one;
+    let ctx = capture_region_context();
+    let ctx = &ctx;
     let mut results: Vec<(WorkerLog, Acc)> = std::thread::scope(|s| {
         let handles: Vec<_> = slices[1..]
             .iter()
             .cloned()
             .enumerate()
-            .map(|(k, r)| s.spawn(move || run_one(k + 1, r)))
+            .map(|(k, r)| {
+                std::thread::Builder::new()
+                    .name(format!("worker-{}", k + 1))
+                    .spawn_scoped(s, move || {
+                        let _ctx = ctx.as_ref().map(|(install, c)| install(c.as_ref()));
+                        run_one(k + 1, r)
+                    })
+                    .expect("spawn worker")
+            })
             .collect();
         let mine = run_one(0, slices[0].clone());
         let mut all = vec![mine];
@@ -851,6 +911,59 @@ mod tests {
                 .collect();
             assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
         });
+    }
+
+    #[test]
+    fn region_context_hooks_reach_every_worker() {
+        use std::any::Any;
+        use std::cell::Cell;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        thread_local! {
+            static MARKER: Cell<u64> = const { Cell::new(0) };
+        }
+        struct Uninstall;
+        impl Drop for Uninstall {
+            fn drop(&mut self) {
+                MARKER.with(|m| m.set(0));
+            }
+        }
+        fn capture() -> Option<Box<dyn Any + Send + Sync>> {
+            let v = MARKER.with(|m| m.get());
+            (v != 0).then(|| Box::new(v) as Box<dyn Any + Send + Sync>)
+        }
+        fn install(ctx: &(dyn Any + Send + Sync)) -> Box<dyn Any> {
+            let v = *ctx.downcast_ref::<u64>().expect("u64 context");
+            MARKER.with(|m| m.set(v));
+            Box::new(Uninstall)
+        }
+        // First registration wins process-wide; within this test binary
+        // nothing else registers hooks.
+        assert!(crate::set_region_context_hooks(capture, install));
+        assert!(!crate::set_region_context_hooks(capture, install));
+
+        MARKER.with(|m| m.set(42));
+        let with_ctx = AtomicU64::new(0);
+        pool(4).install(|| {
+            (0..1000u32).into_par_iter().for_each(|_| {
+                if MARKER.with(|m| m.get()) == 42 {
+                    with_ctx.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        // Every item — wherever it was stolen to — saw the caller's context.
+        assert_eq!(with_ctx.load(Ordering::Relaxed), 1000);
+
+        // Static partitioning propagates too.
+        let accs = pool(4).install(|| {
+            crate::static_partition_fold(
+                257,
+                |_| 0u64,
+                |acc, _| acc + u64::from(MARKER.with(|m| m.get()) == 42),
+            )
+        });
+        assert_eq!(accs.iter().sum::<u64>(), 257);
+        MARKER.with(|m| m.set(0));
     }
 
     #[test]
